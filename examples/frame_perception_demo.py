@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Frame Perception demo: Algorithm 1 over FLV, RTMP and MPEG-TS bytes.
+
+Builds the paper's §IV-A running example — script data, audio, an I
+frame, a P frame and three B frames — muxes it into each supported
+container, and runs the cross-layer parser to obtain FF_Size, showing
+
+* protocol dispatch (``PtlType``),
+* the exact byte breakdown of FF_Size (header + script + audio + I),
+* the effect of the playback threshold Θ_VF (§VII),
+* incremental parsing (bytes fed as the origin delivers them).
+
+Usage::
+
+    python examples/frame_perception_demo.py
+"""
+
+from repro.core.frame_perception import FrameParser
+from repro.media import flv, hls, rtmp
+from repro.media.frames import MediaFrame, MediaFrameType
+from repro.metrics.report import Table
+
+
+def example_frames():
+    """§IV-A: S_script, S_audio, S_I, S_P, S_B1, S_B2, S_B3."""
+    return [
+        MediaFrame.synthetic(MediaFrameType.SCRIPT, 0, 420),
+        MediaFrame.synthetic(MediaFrameType.AUDIO, 0, 372),
+        MediaFrame.synthetic(MediaFrameType.VIDEO_I, 0, 52_000),
+        MediaFrame.synthetic(MediaFrameType.VIDEO_P, 40, 7_400),
+        MediaFrame.synthetic(MediaFrameType.VIDEO_B, 80, 2_600),
+        MediaFrame.synthetic(MediaFrameType.VIDEO_B, 120, 2_500),
+        MediaFrame.synthetic(MediaFrameType.VIDEO_B, 160, 2_700),
+    ]
+
+
+def main() -> None:
+    frames = example_frames()
+
+    table = Table(
+        "Frame Perception across containers (Θ_VF = 1)",
+        ["container", "PtlType", "FF_Size", "stream bytes", "container overhead"],
+    )
+    for name, mux in (("HTTP-FLV", flv.mux), ("RTMP", rtmp.mux), ("HLS/MPEG-TS", hls.mux)):
+        blob = mux(frames)
+        parser = FrameParser(video_frame_threshold=1)
+        ff_size = parser.feed(blob)
+        media_bytes = sum(f.size for f in frames[:3])  # through the I frame
+        table.add_row(
+            name,
+            parser.protocol.value,
+            f"{ff_size:,} B",
+            f"{media_bytes:,} B",
+            f"{ff_size - media_bytes:,} B",
+        )
+    table.print()
+
+    breakdown = FrameParser()
+    blob = flv.mux(frames)
+    breakdown.feed(blob)
+    parts = Table("FF_Size breakdown (FLV)", ["component", "bytes"])
+    for component, size in breakdown.breakdown().items():
+        parts.add_row(component, f"{size:,}")
+    parts.print()
+
+    theta = Table(
+        "Playback conditions: Θ_VF sweep (§VII)",
+        ["Θ_VF", "first frame ends at", "FF_Size"],
+    )
+    labels = {1: "I frame", 2: "P frame", 3: "1st B frame", 4: "2nd B frame"}
+    for threshold in (1, 2, 3, 4):
+        parser = FrameParser(video_frame_threshold=threshold)
+        ff = parser.feed(blob)
+        theta.add_row(threshold, labels[threshold], f"{ff:,} B")
+    theta.print()
+
+    # Incremental feeding: the proxy parses as the origin delivers.
+    parser = FrameParser()
+    chunk = 1_500
+    for offset in range(0, len(blob), chunk):
+        ff = parser.feed(blob[offset : offset + chunk])
+        if ff is not None:
+            print(
+                f"\nIncremental parse: FF_Size={ff:,}B known after "
+                f"{offset + chunk:,} of {len(blob):,} bytes were delivered — "
+                "the window can be initialised before the frame finishes arriving."
+            )
+            break
+
+
+if __name__ == "__main__":
+    main()

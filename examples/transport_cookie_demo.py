@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Transport Cookie demo: the §IV-B stateless synchronisation loop.
+
+Walks the full cookie lifecycle across two sessions of one OD pair:
+
+1. the server measures MinRTT/MaxBW, seals them with its key, and pushes
+   the Hx_QoS frame (type 0x1f) to the client;
+2. the client stores the opaque blob (it cannot read it) and echoes it
+   in the next CHLO's HQST tag;
+3. the stateless server authenticates the echo and initialises the new
+   connection's window and pacing rate from the historical QoS;
+
+then demonstrates the §VII security properties: tampered and forged
+cookies are rejected, and cookies older than Δ go stale (corner case 2).
+
+Usage::
+
+    python examples/transport_cookie_demo.py
+"""
+
+from repro.core.config import WiraConfig
+from repro.core.initializer import Scheme, compute_initial_params
+from repro.core.transport_cookie import (
+    ClientCookieStore,
+    HxQos,
+    ServerCookieManager,
+    decode_hqst,
+    encode_hqst,
+)
+
+KEY = b"production-server-secret-32bytes"
+
+
+def main() -> None:
+    config = WiraConfig()
+    server = ServerCookieManager(KEY, staleness_delta=config.staleness_delta)
+    client_store = ClientCookieStore()
+
+    # --- Session 1: the server measures and synchronises -----------------
+    measured = HxQos(min_rtt=0.048, max_bw_bps=9_200_000.0, timestamp=1_000.0)
+    frame = server.build_frame(measured)
+    print(f"[server] measured MinRTT={measured.min_rtt * 1000:.0f}ms, "
+          f"MaxBW={measured.max_bw_bps / 1e6:.1f}Mbps -> Hx_QoS frame "
+          f"({len(frame.encode())} bytes on the wire, type 0x1f)")
+
+    client_store.on_hx_qos_frame("cdn-edge-7", frame, now=1_000.5)
+    sealed, received_at = client_store.get("cdn-edge-7")
+    print(f"[client] stored sealed cookie ({len(sealed)} bytes); "
+          f"plaintext visible to client: {b'9200000' in sealed or b'48' in sealed}")
+
+    # --- Session 2: the client echoes, the server initialises ------------
+    hqst_tag = encode_hqst(True, int(received_at * 1000), sealed)
+    print(f"[client] next CHLO carries HQST tag ({len(hqst_tag)} bytes)")
+
+    supported, _ts, echoed = decode_hqst(hqst_tag)
+    hx = server.open_echoed(echoed, now=1_300.0)  # 5 minutes later
+    print(f"[server] cookie authenticated: MinRTT={hx.min_rtt * 1000:.0f}ms, "
+          f"MaxBW={hx.max_bw_bps / 1e6:.1f}Mbps (BDP={hx.bdp_bytes:,}B)")
+
+    params = compute_initial_params(Scheme.WIRA, config, ff_size=66_000, hx_qos=hx)
+    print(f"[server] Wira init: cwnd={params.cwnd_bytes:,}B "
+          f"(min{{FF, BDP}}), pacing={params.pacing_bps / 1e6:.1f}Mbps (=MaxBW)\n")
+
+    # --- Security properties (§VII) --------------------------------------
+    tampered = bytearray(sealed)
+    tampered[16] ^= 0xFF
+    assert server.open_echoed(bytes(tampered), now=1_300.0) is None
+    print("[server] tampered cookie rejected (MAC failure)")
+
+    forged = HxQos(min_rtt=0.001, max_bw_bps=1e9, timestamp=1_299.0).encode()
+    assert server.open_echoed(b"\x00" * 12 + forged + b"\x00" * 16, now=1_300.0) is None
+    print("[server] forged 'favourable' cookie rejected — clients cannot "
+          "fabricate Hx_QoS to grab bandwidth")
+
+    assert server.open_echoed(echoed, now=1_000.0 + 3_601.0) is None
+    print(f"[server] cookie older than Δ={config.staleness_delta / 60:.0f}min "
+          "rejected as stale -> corner case 2 (FF-based fallback)")
+
+    fallback = compute_initial_params(Scheme.WIRA, config, ff_size=66_000, hx_qos=None)
+    print(f"[server] fallback init: cwnd={fallback.cwnd_bytes:,}B (FF_Size), "
+          f"pacing={fallback.pacing_bps / 1e6:.1f}Mbps (FF/init_RTT_exp)")
+
+
+if __name__ == "__main__":
+    main()

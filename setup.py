@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables editable installs where the `wheel` package
+is unavailable (offline environments)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Application layer: the Fig 10 deployment on the simulator.
+
+A :class:`~repro.cdn.session.StreamingSession` wires together
+
+* an :class:`~repro.cdn.origin.Origin` (the live CDN holding streams),
+* a :class:`~repro.cdn.server.WiraServer` (the proxy: frame perception,
+  transport cookie, parameter initialisation, streaming),
+* a :class:`~repro.cdn.client.WiraClient` (the player: cookie cache,
+  CHLO tags, FFCT measurement),
+
+over a :class:`~repro.simnet.path.Path`, and returns the metrics the
+paper's evaluation reports (FFCT, FFLR, follow-up frame completion).
+"""
+
+from repro.cdn.client import ClientMetrics, WiraClient
+from repro.cdn.origin import Origin, OriginFetch
+from repro.cdn.playback import PlaybackPolicy
+from repro.cdn.server import WiraServer
+from repro.cdn.session import SessionResult, StreamingSession
+
+__all__ = [
+    "ClientMetrics",
+    "Origin",
+    "OriginFetch",
+    "PlaybackPolicy",
+    "SessionResult",
+    "StreamingSession",
+    "WiraClient",
+    "WiraServer",
+]

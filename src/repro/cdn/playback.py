@@ -1,0 +1,38 @@
+"""First-frame playback conditions (§VII).
+
+Client-side players declare when the "first frame" is displayable —
+after one video frame, after N frames, or after a buffered duration.
+Wira adapts by setting the parser's Θ_VF accordingly: "the presented
+Wira can adapt to differentiated first-frame playback conditions by
+configuring the number of parsed video (audio) frames".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PlaybackPolicy:
+    """Maps a player's start condition to the parser threshold Θ_VF."""
+
+    video_frames_required: int = 1
+    buffered_seconds_required: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.video_frames_required < 1:
+            raise ValueError("at least one video frame is required")
+        if self.buffered_seconds_required < 0:
+            raise ValueError("buffered duration must be non-negative")
+
+    def video_frame_threshold(self, fps: float = 25.0) -> int:
+        """Θ_VF for this policy at a given stream frame rate."""
+        from_buffer = int(self.buffered_seconds_required * fps)
+        return max(self.video_frames_required, from_buffer, 1)
+
+
+FIRST_VIDEO_FRAME = PlaybackPolicy(video_frames_required=1)
+"""The paper's default: display as soon as the first I frame lands."""
+
+THREE_FRAME_START = PlaybackPolicy(video_frames_required=3)
+"""The §IV-A worked example with Θ_VF = 3."""

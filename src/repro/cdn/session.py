@@ -1,0 +1,233 @@
+"""One streaming session end-to-end on the simulator.
+
+A session reproduces the paper's measurement unit: a client joins a live
+stream through the Wira proxy, and we record
+
+* **FFCT** — request sent → Θ_VF-th video frame complete (Fig 11–13),
+* **FFLR** — data-packet loss over the first-frame transfer (Fig 14),
+* **follow-up frames** — completion time and loss through the first
+  four video frames (Fig 15),
+* cookie round-trip — the end-of-session Hx_QoS push that seeds the
+  *next* session of the same OD pair.
+
+Sessions are independent event-loop universes; continuity between
+sessions of one OD pair lives in the client's
+:class:`~repro.core.transport_cookie.ClientCookieStore` and the shared
+``epoch`` wall clock passed in by the caller.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.cdn.client import ClientMetrics, WiraClient
+from repro.cdn.origin import Origin
+from repro.cdn.playback import PlaybackPolicy, FIRST_VIDEO_FRAME
+from repro.cdn.server import WiraServer
+from repro.core.config import WiraConfig
+from repro.core.initializer import InitialParams, Scheme
+from repro.core.transport_cookie import ClientCookieStore, ServerCookieManager
+from repro.quic.config import QuicConfig
+from repro.quic.connection import Connection, ConnectionStats, HandshakeMode, Role
+from repro.quic.handshake import TAG_HQST
+from repro.simnet.engine import EventLoop
+from repro.simnet.path import NetworkConditions, Path
+
+DEFAULT_COOKIE_KEY = b"wira-server-secret-key-32bytes!!"
+
+
+@dataclass
+class SessionResult:
+    """Everything one session contributes to the evaluation."""
+
+    scheme: Scheme
+    handshake_mode: HandshakeMode
+    conditions: NetworkConditions
+    completed: bool
+    client_metrics: ClientMetrics
+    ff_size_parsed: Optional[int]
+    initial_params: Optional[InitialParams]
+    ff_server_stats: Optional[ConnectionStats]
+    final_server_stats: ConnectionStats
+    frame_stats_snapshots: List[ConnectionStats] = field(default_factory=list)
+    cookie_delivered: bool = False
+    used_cookie: bool = False
+    server_min_rtt: Optional[float] = None
+    server_max_bw: Optional[float] = None
+
+    @property
+    def ffct(self) -> Optional[float]:
+        return self.client_metrics.ffct
+
+    @property
+    def fflr(self) -> Optional[float]:
+        """First-frame loss rate: data-packet loss through FF completion."""
+        if self.ff_server_stats is None:
+            return None
+        return self.ff_server_stats.data_loss_rate()
+
+    def frame_time(self, k: int) -> Optional[float]:
+        return self.client_metrics.frame_completion_time(k)
+
+    def frame_loss_rate(self, k: int) -> Optional[float]:
+        """Data-packet loss rate through the k-th video frame."""
+        if k < 1 or k > len(self.frame_stats_snapshots):
+            return None
+        return self.frame_stats_snapshots[k - 1].data_loss_rate()
+
+
+class StreamingSession:
+    """Builds and runs one client↔proxy session.
+
+    Parameters mirror the deployment dimensions §VI varies: the scheme,
+    the handshake mode (0-RTT vs 1-RTT), the path conditions, and the
+    client's cookie state carried over from previous sessions.
+    """
+
+    def __init__(
+        self,
+        conditions: NetworkConditions,
+        scheme: Scheme,
+        origin: Origin,
+        stream_name: str,
+        handshake_mode: HandshakeMode = HandshakeMode.ZERO_RTT,
+        wira_config: Optional[WiraConfig] = None,
+        quic_config: Optional[QuicConfig] = None,
+        cookie_store: Optional[ClientCookieStore] = None,
+        cookie_manager: Optional[ServerCookieManager] = None,
+        playback: PlaybackPolicy = FIRST_VIDEO_FRAME,
+        target_video_frames: int = 4,
+        epoch: float = 0.0,
+        seed: int = 0,
+        timeout: float = 30.0,
+        client_supports_cookies: bool = True,
+        initial_params_override: Optional[InitialParams] = None,
+    ) -> None:
+        self.conditions = conditions
+        self.scheme = scheme
+        self.origin = origin
+        self.stream_name = stream_name
+        self.handshake_mode = handshake_mode
+        self.wira_config = wira_config or WiraConfig()
+        self.quic_config = quic_config or QuicConfig()
+        self.cookie_store = cookie_store
+        self.playback = playback
+        self.target_video_frames = target_video_frames
+        self.epoch = epoch
+        self.seed = seed
+        self.timeout = timeout
+        self.client_supports_cookies = client_supports_cookies
+        self.initial_params_override = initial_params_override
+        if cookie_manager is not None:
+            self.cookie_manager = cookie_manager
+        else:
+            self.cookie_manager = ServerCookieManager(
+                DEFAULT_COOKIE_KEY, staleness_delta=self.wira_config.staleness_delta
+            )
+
+    def run(self) -> SessionResult:
+        loop = EventLoop()
+        rng = random.Random(self.seed)
+        path = Path(loop, self.conditions, rng=random.Random(rng.getrandbits(48)))
+
+        server_conn = Connection(
+            loop,
+            Role.SERVER,
+            path.send_to_client,
+            self.quic_config,
+            rng=random.Random(rng.getrandbits(48)),
+        )
+        hqst = WiraClient.build_hqst_tag(
+            self.cookie_store, origin_id="origin", supported=self.client_supports_cookies
+        )
+        client_conn = Connection(
+            loop,
+            Role.CLIENT,
+            path.send_to_server,
+            self.quic_config,
+            handshake_mode=self.handshake_mode,
+            handshake_tags={TAG_HQST: hqst},
+            rng=random.Random(rng.getrandbits(48)),
+        )
+        path.deliver_to_server = server_conn.datagram_received
+        path.deliver_to_client = client_conn.datagram_received
+
+        theta = self.playback.video_frame_threshold()
+        # §VII: Wira adapts Θ_VF to the client's playback condition, so
+        # the parser's first frame matches what the player waits for.
+        wira_config = self.wira_config
+        if theta > wira_config.video_frame_threshold:
+            wira_config = replace(wira_config, video_frame_threshold=theta)
+        server = WiraServer(
+            loop,
+            server_conn,
+            self.origin,
+            self.scheme,
+            wira_config=wira_config,
+            cookie_manager=self.cookie_manager,
+            clock_offset=self.epoch,
+            max_video_frames=max(self.target_video_frames, theta) + 2,
+            initial_params_override=self.initial_params_override,
+        )
+
+        ff_stats: List[ConnectionStats] = []
+        frame_snapshots: List[ConnectionStats] = []
+
+        client = WiraClient(
+            loop,
+            client_conn,
+            stream_name=self.stream_name,
+            origin_id="origin",
+            cookie_store=self.cookie_store,
+            playback=self.playback,
+            target_video_frames=self.target_video_frames,
+            clock_offset=self.epoch,
+            on_first_frame=lambda: ff_stats.append(server_conn.stats.snapshot()),
+            on_video_frame=lambda k: frame_snapshots.append(server_conn.stats.snapshot()),
+        )
+
+        client.start()
+        self._run_until_done(loop, client)
+
+        # End-of-session synchronisation: push a final cookie so the
+        # *next* session of this OD pair has fresh Hx_QoS, then drain.
+        cookie_delivered = False
+        if client.done and self.client_supports_cookies:
+            pushed = server.flush_cookie()
+            if pushed:
+                drained = loop.now + max(4 * self.conditions.rtt, 0.2)
+                self._run_until(loop, drained)
+                cookie_delivered = client.metrics.cookies_received > 0
+
+        server_min_rtt = server_conn.measured_min_rtt()
+        server_max_bw = server_conn.measured_max_bw()
+        server.close()
+        client_conn.close()
+
+        return SessionResult(
+            scheme=self.scheme,
+            handshake_mode=self.handshake_mode,
+            conditions=self.conditions,
+            completed=client.done,
+            client_metrics=client.metrics,
+            ff_size_parsed=server.state.ff_size,
+            initial_params=server.state.initial_params,
+            ff_server_stats=ff_stats[0] if ff_stats else None,
+            final_server_stats=server_conn.stats.snapshot(),
+            frame_stats_snapshots=frame_snapshots,
+            cookie_delivered=cookie_delivered,
+            used_cookie=server.state.hx_qos is not None,
+            server_min_rtt=server_min_rtt,
+            server_max_bw=server_max_bw,
+        )
+
+    def _run_until_done(self, loop: EventLoop, client: WiraClient) -> None:
+        while not client.done and loop.pending_events and loop.now < self.timeout:
+            loop.run_until(min(self.timeout, loop.now + 0.25), max_events=100_000)
+
+    @staticmethod
+    def _run_until(loop: EventLoop, deadline: float) -> None:
+        while loop.pending_events and loop.now < deadline:
+            loop.run_until(deadline, max_events=100_000)

@@ -1,0 +1,46 @@
+"""Wira: the paper's contribution (§III–§IV).
+
+Three cooperating modules:
+
+* **Frame Perception** (:mod:`repro.core.frame_perception`) — the
+  cross-layer L4 parser of Algorithm 1 that identifies the first frame of
+  a live stream and measures its size (FF_Size) before it is sent;
+* **Transport Cookie** (:mod:`repro.core.transport_cookie`) — the
+  stateless client↔cloud scheme that synchronises per-OD-pair historical
+  QoS (MinRTT, MaxBW) through ``Hx_QoS`` frames and the CHLO ``HQST``
+  tag, sealed with a server-side key (:mod:`repro.core.cookie_crypto`);
+* **Initial Parameter Configuration**
+  (:mod:`repro.core.initializer`) — Table I's schemes, computing
+  ``init_cwnd = min(FF_Size, MaxBW × MinRTT)`` and
+  ``init_pacing = MaxBW`` with the paper's two corner cases.
+"""
+
+from repro.core.config import WiraConfig
+from repro.core.frame_perception import FrameParser, ParseStatus
+from repro.core.initializer import (
+    InitialParams,
+    Scheme,
+    compute_initial_params,
+)
+from repro.core.transport_cookie import (
+    ClientCookieStore,
+    HxQos,
+    decode_hqst,
+    encode_hqst,
+)
+from repro.core.cookie_crypto import CookieSealer, CookieError
+
+__all__ = [
+    "ClientCookieStore",
+    "CookieError",
+    "CookieSealer",
+    "FrameParser",
+    "HxQos",
+    "InitialParams",
+    "ParseStatus",
+    "Scheme",
+    "WiraConfig",
+    "compute_initial_params",
+    "decode_hqst",
+    "encode_hqst",
+]

@@ -1,0 +1,51 @@
+"""Wira configuration knobs (defaults follow the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WiraConfig:
+    """Parameters of the Wira mechanism.
+
+    Defaults match the paper's deployment choices where stated.
+    """
+
+    video_frame_threshold: int = 1
+    """Θ_VF — video frames ending the "first frame" (§IV-A, default 1)."""
+
+    sync_period: float = 3.0
+    """Hx_QoS synchronisation period in seconds (§IV-B: "set to 3s")."""
+
+    staleness_delta: float = 3600.0
+    """Δ — cookie age beyond which Hx_QoS is discarded (§IV-C: 60 min)."""
+
+    init_cwnd_exp: int = 42_000
+    """Experiential initial cwnd in bytes (corner case 1): "the average
+    FF_Size collected from all connections during one week".  The
+    paper's fleet average is 43.1 KB (Fig 1(a)); the default here is the
+    simulated deployment's own average FF_Size, keeping the A/B-test
+    semantics self-consistent."""
+
+    init_rtt_exp: float = 0.050
+    """Experiential initial RTT in seconds (corner case 2): the average
+    MinRTT across connections during one week, from A/B tests — again
+    measured from the simulated deployment itself."""
+
+    min_initial_pacing_bps: float = 100_000.0
+    """Safety floor under any computed initial pacing rate."""
+
+    max_initial_cwnd_bytes: int = 2 * 1024 * 1024
+    """Safety ceiling on the initial window (anti-amplification-style
+    guard against absurd cookie values)."""
+
+    def __post_init__(self) -> None:
+        if self.video_frame_threshold < 1:
+            raise ValueError("video_frame_threshold must be >= 1")
+        if self.sync_period <= 0:
+            raise ValueError("sync_period must be positive")
+        if self.staleness_delta <= 0:
+            raise ValueError("staleness_delta must be positive")
+        if self.init_cwnd_exp <= 0 or self.init_rtt_exp <= 0:
+            raise ValueError("experiential defaults must be positive")

@@ -1,0 +1,91 @@
+"""Server-side sealing of transport cookies (§IV-B, §VII).
+
+The paper encrypts the ``Hx_QoS_Frame`` with a sender-side symmetric key
+so clients cannot read, fabricate or replay-modify cookie contents:
+"each client cannot understand its received transport cookies that can
+not be easily fabricated".  The standard library offers no AEAD cipher,
+so this module builds an authenticated stream cipher from primitives it
+does have — an HMAC-SHA256 keystream in counter mode plus an
+encrypt-then-MAC tag.  The construction provides exactly the properties
+§VII relies on:
+
+* **confidentiality** — clients see uniformly pseudorandom bytes;
+* **integrity/authenticity** — any bit flip or forgery fails the MAC,
+  so "the servers verify the consistency between the sent and received
+  Hx_QoS and then leverage the authentic values";
+* **freshness** — the sealed payload embeds the server timestamp used
+  by the Δ-staleness check (corner case 2).
+
+This is a documented substitution (DESIGN.md): a deployment would use
+AES-GCM; the security argument the evaluation depends on is unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import struct
+
+_NONCE_LEN = 12
+_MAC_LEN = 16
+_BLOCK = 32  # SHA-256 output size
+
+
+class CookieError(ValueError):
+    """Raised when a sealed cookie fails authentication or parsing."""
+
+
+class CookieSealer:
+    """Seals/opens opaque cookie blobs with a server-held key.
+
+    The server is stateless across connections; only the key persists.
+    Each ``seal`` must be given a unique nonce — the cookie manager
+    derives it from a per-server counter.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) < 16:
+            raise ValueError("cookie key must be at least 16 bytes")
+        self._enc_key = hmac.new(key, b"wira-enc", hashlib.sha256).digest()
+        self._mac_key = hmac.new(key, b"wira-mac", hashlib.sha256).digest()
+
+    def _keystream(self, nonce: bytes, length: int) -> bytes:
+        out = bytearray()
+        counter = 0
+        while len(out) < length:
+            block = hmac.new(
+                self._enc_key, nonce + struct.pack(">I", counter), hashlib.sha256
+            ).digest()
+            out += block
+            counter += 1
+        return bytes(out[:length])
+
+    def seal(self, plaintext: bytes, nonce_seed: int) -> bytes:
+        """Encrypt-then-MAC ``plaintext``; returns the opaque blob."""
+        nonce = hashlib.sha256(struct.pack(">Q", nonce_seed) + b"wira-nonce").digest()[
+            :_NONCE_LEN
+        ]
+        keystream = self._keystream(nonce, len(plaintext))
+        ciphertext = bytes(p ^ k for p, k in zip(plaintext, keystream))
+        mac = hmac.new(self._mac_key, nonce + ciphertext, hashlib.sha256).digest()[:_MAC_LEN]
+        return nonce + ciphertext + mac
+
+    def open(self, blob: bytes) -> bytes:
+        """Verify and decrypt a sealed blob.
+
+        Raises :class:`CookieError` on truncation, tampering or forgery —
+        the server then falls back to cookie-less initialisation rather
+        than trusting attacker-controlled QoS values.
+        """
+        if len(blob) < _NONCE_LEN + _MAC_LEN:
+            raise CookieError("sealed cookie too short")
+        nonce = blob[:_NONCE_LEN]
+        ciphertext = blob[_NONCE_LEN : -_MAC_LEN]
+        mac = blob[-_MAC_LEN:]
+        expected = hmac.new(self._mac_key, nonce + ciphertext, hashlib.sha256).digest()[
+            :_MAC_LEN
+        ]
+        if not hmac.compare_digest(mac, expected):
+            raise CookieError("cookie authentication failed")
+        keystream = self._keystream(nonce, len(ciphertext))
+        return bytes(c ^ k for c, k in zip(ciphertext, keystream))

@@ -1,0 +1,139 @@
+"""Per-protocol tag walkers feeding Frame Perception.
+
+Algorithm 1 first obtains ``PtlType`` and rejects unknown protocols, then
+walks header/frame units accumulating their on-wire sizes.  Each backend
+here turns a raw byte stream into a sequence of :class:`ParsedUnit`
+values — ``header`` units (protocol preamble) and ``frame`` units (one
+media frame with its container framing) — consuming bytes incrementally,
+because on the real sender the stream arrives from the origin in pieces
+(corner case 1 of §IV-C exists precisely because of this).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.media import flv, hls, rtmp
+from repro.media.frames import MediaFrameType
+
+
+class PtlType(enum.Enum):
+    """Live-streaming protocols the parser recognises (§IV-A)."""
+
+    FLV = "flv"
+    RTMP = "rtmp"
+    HLS = "hls"
+
+
+@dataclass(frozen=True)
+class ParsedUnit:
+    """One unit the parser accounts into FF_Size."""
+
+    kind: str  # "header" or "frame"
+    media_type: Optional[MediaFrameType]
+    wire_bytes: int
+
+    @property
+    def is_video(self) -> bool:
+        return self.media_type is not None and self.media_type.is_video
+
+
+def detect_protocol(prefix: bytes) -> Optional[PtlType]:
+    """Identify ``PtlType`` from the first stream bytes.
+
+    Returns ``None`` when more bytes are needed; raises
+    :class:`UnknownProtocolError` when the prefix matches nothing in the
+    protocol set (Algorithm 1's ``PtlType ∉ PtlSet`` branch).
+    """
+    if not prefix:
+        return None
+    if prefix[:1] == b"F":
+        if len(prefix) < 3:
+            return None
+        if prefix[:3] == flv.FLV_SIGNATURE:
+            return PtlType.FLV
+        raise UnknownProtocolError(prefix[:3])
+    if prefix[0] == rtmp.RTMP_VERSION_BYTE:
+        return PtlType.RTMP
+    if prefix[0] == hls.TS_SYNC_BYTE:
+        return PtlType.HLS
+    raise UnknownProtocolError(prefix[:1])
+
+
+class UnknownProtocolError(ValueError):
+    """The stream prefix matches no protocol in the parser's PtlSet."""
+
+    def __init__(self, prefix: bytes) -> None:
+        super().__init__(f"unknown live-streaming protocol (prefix {prefix!r})")
+        self.prefix = prefix
+
+
+class FlvBackend:
+    """Walks FLV headers/tags, reporting on-wire unit sizes."""
+
+    def __init__(self) -> None:
+        self._demuxer = flv.FlvDemuxer(expect_header=True)
+        self._header_reported = False
+
+    def feed(self, data: bytes) -> List[ParsedUnit]:
+        units: List[ParsedUnit] = []
+        tags = self._demuxer.feed(data)
+        if not self._header_reported and (tags or self._demuxer.tags_parsed):
+            units.append(
+                ParsedUnit(
+                    "header",
+                    None,
+                    flv.FLV_HEADER_LEN + flv.PREVIOUS_TAG_SIZE_LEN,
+                )
+            )
+            self._header_reported = True
+        for tag in tags:
+            units.append(ParsedUnit("frame", tag.media_frame_type, tag.on_wire_size))
+        return units
+
+
+class RtmpBackend:
+    """Walks RTMP chunk-stream messages."""
+
+    def __init__(self, chunk_size: int = rtmp.DEFAULT_CHUNK_SIZE) -> None:
+        self._demuxer = rtmp.RtmpDemuxer(chunk_size=chunk_size, expect_version_byte=True)
+        self._header_reported = False
+        self.chunk_size = chunk_size
+
+    def feed(self, data: bytes) -> List[ParsedUnit]:
+        units: List[ParsedUnit] = []
+        messages = self._demuxer.feed(data)
+        if not self._header_reported and data:
+            units.append(ParsedUnit("header", None, 1))  # C0 version byte
+            self._header_reported = True
+        for message in messages:
+            continuations = max(0, (len(message.payload) - 1) // self.chunk_size)
+            wire = 12 + len(message.payload) + continuations
+            units.append(ParsedUnit("frame", message.media_frame_type, wire))
+        return units
+
+
+class HlsBackend:
+    """Walks MPEG-TS packets; each frame's size is its packets' bytes."""
+
+    def __init__(self) -> None:
+        self._demuxer = hls.TsDemuxer()
+
+    def feed(self, data: bytes) -> List[ParsedUnit]:
+        return [
+            ParsedUnit("frame", frame.media_frame_type, frame.wire_bytes)
+            for frame in self._demuxer.feed(data)
+        ]
+
+
+def make_backend(protocol: PtlType):
+    """Instantiate the walker for a detected protocol."""
+    if protocol == PtlType.FLV:
+        return FlvBackend()
+    if protocol == PtlType.RTMP:
+        return RtmpBackend()
+    if protocol == PtlType.HLS:
+        return HlsBackend()
+    raise ValueError(f"unsupported protocol {protocol!r}")

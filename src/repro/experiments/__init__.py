@@ -1,0 +1,21 @@
+"""Experiment runners — one module per table/figure of the paper.
+
+Each runner regenerates its artefact's rows/series and returns plain
+data structures; the benchmarks under ``benchmarks/`` invoke these and
+print paper-style tables.  See DESIGN.md's experiment index for the
+mapping and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from repro.experiments.common import (
+    DeploymentRecords,
+    SessionOutcome,
+    run_deployment,
+    run_testbed_session,
+)
+
+__all__ = [
+    "DeploymentRecords",
+    "SessionOutcome",
+    "run_deployment",
+    "run_testbed_session",
+]

@@ -1,0 +1,167 @@
+"""Shared machinery for the evaluation experiments.
+
+``run_deployment`` plays every session chain of a
+:class:`~repro.workload.population.Deployment` under each comparison
+scheme, keeping the paired structure the paper's A/B tests have: the
+same OD pairs, streams, conditions and loss randomness are replayed per
+scheme; only the initialisation policy differs.  Cookies persist along
+each chain through the client's store, so first sessions are cookie-less
+and long gaps go stale — exactly the populations §VI aggregates over.
+
+Results are cached per configuration: Figs 11–15 all read the same
+deployment run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cdn.origin import Origin
+from repro.cdn.session import SessionResult, StreamingSession
+from repro.core.config import WiraConfig
+from repro.core.initializer import InitialParams, Scheme
+from repro.core.transport_cookie import ClientCookieStore, ServerCookieManager
+from repro.quic.config import QuicConfig
+from repro.quic.connection import HandshakeMode
+from repro.simnet.path import NetworkConditions
+from repro.workload.population import Deployment, DeploymentConfig, SessionSpec
+
+COOKIE_KEY = b"wira-deployment-cookie-key-32b!!"
+
+EVAL_SCHEMES: Tuple[Scheme, ...] = (
+    Scheme.BASELINE,
+    Scheme.WIRA_FF,
+    Scheme.WIRA_HX,
+    Scheme.WIRA,
+)
+
+#: Deployment used by the Fig 11–15 benchmarks.  One run is shared —
+#: the cache hands the same records to every figure.
+HEADLINE_CONFIG = DeploymentConfig(n_od_pairs=120, seed=42)
+
+
+@dataclass(frozen=True)
+class SessionOutcome:
+    """One (spec, result) pair of a deployment replay."""
+
+    spec: SessionSpec
+    result: SessionResult
+
+
+DeploymentRecords = Dict[Scheme, List[SessionOutcome]]
+
+_DEPLOYMENT_CACHE: Dict[tuple, DeploymentRecords] = {}
+
+
+def run_deployment(
+    config: Optional[DeploymentConfig] = None,
+    schemes: Sequence[Scheme] = EVAL_SCHEMES,
+    wira_config: Optional[WiraConfig] = None,
+    use_cache: bool = True,
+) -> DeploymentRecords:
+    """Replay the deployment under each scheme; returns paired records."""
+    config = config or DeploymentConfig()
+    wira_config = wira_config or WiraConfig()
+    cache_key = (
+        tuple(sorted(s.value for s in schemes)),
+        tuple(sorted(vars(config).items())),
+        tuple(sorted(vars(wira_config).items())),
+    )
+    if use_cache and cache_key in _DEPLOYMENT_CACHE:
+        return _DEPLOYMENT_CACHE[cache_key]
+
+    chains = Deployment(config).generate()
+    records: DeploymentRecords = {scheme: [] for scheme in schemes}
+    for scheme in schemes:
+        for chain_index, chain in enumerate(chains):
+            records[scheme].extend(
+                _run_chain(scheme, chain, chain_index, config, wira_config)
+            )
+    if use_cache:
+        _DEPLOYMENT_CACHE[cache_key] = records
+    return records
+
+
+def _run_chain(
+    scheme: Scheme,
+    chain: List[SessionSpec],
+    chain_index: int,
+    config: DeploymentConfig,
+    wira_config: WiraConfig,
+) -> List[SessionOutcome]:
+    store = ClientCookieStore()
+    manager = ServerCookieManager(COOKIE_KEY, staleness_delta=wira_config.staleness_delta)
+    origin = Origin()
+    stream_name = f"stream-{chain_index}"
+    origin.add_stream(stream_name, chain[0].stream_profile)
+    outcomes: List[SessionOutcome] = []
+    for spec in chain:
+        session = StreamingSession(
+            conditions=spec.conditions,
+            scheme=scheme,
+            origin=origin,
+            stream_name=stream_name,
+            handshake_mode=spec.handshake_mode,
+            wira_config=wira_config,
+            cookie_store=store,
+            cookie_manager=manager,
+            epoch=spec.epoch,
+            seed=spec.seed,
+            target_video_frames=config.video_frames_per_session,
+        )
+        outcomes.append(SessionOutcome(spec, session.run()))
+    return outcomes
+
+
+def run_testbed_session(
+    initial_params: InitialParams,
+    conditions: Optional[NetworkConditions] = None,
+    ff_target: int = 66_000,
+    seed: int = 0,
+    target_video_frames: int = 4,
+) -> SessionResult:
+    """One controlled testbed session with pinned initial parameters.
+
+    Defaults reproduce the paper's testbed (§II footnote 2): 8 Mbps,
+    3 % loss, 50 ms RTT, 25 KB buffer, and the Fig 2(a) 66 KB first
+    frame.
+    """
+    from repro.media.source import StreamProfile
+
+    conditions = conditions or NetworkConditions(
+        bandwidth_bps=8_000_000.0, rtt=0.050, loss_rate=0.03, buffer_bytes=25_000
+    )
+    origin = Origin()
+    origin.add_stream(
+        "testbed",
+        StreamProfile(
+            first_frame_target_bytes=ff_target,
+            complexity_sigma=0.01,
+            size_jitter=0.01,
+            seed=17,
+        ),
+    )
+    session = StreamingSession(
+        conditions=conditions,
+        scheme=Scheme.BASELINE,  # ignored: override pins the values
+        origin=origin,
+        stream_name="testbed",
+        handshake_mode=HandshakeMode.ZERO_RTT,
+        seed=seed,
+        target_video_frames=target_video_frames,
+        initial_params_override=initial_params,
+        client_supports_cookies=False,
+    )
+    return session.run()
+
+
+def manual_params(cwnd_bytes: int, pacing_bps: float) -> InitialParams:
+    """Explicit (cwnd, pacing) for testbed sweeps."""
+    return InitialParams(
+        cwnd_bytes=cwnd_bytes,
+        pacing_bps=pacing_bps,
+        used_ff_size=False,
+        used_hx_qos=False,
+        provisional=False,
+    )

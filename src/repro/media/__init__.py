@@ -1,0 +1,27 @@
+"""Live-streaming media substrate.
+
+The paper's proxy serves HTTP-FLV live streams pulled from a CDN origin
+(§VI: "the live-streaming data is decoded using HTTP-FLV protocol").
+This package provides everything the reproduction needs on that front:
+
+* media frame / GOP modelling (:mod:`repro.media.frames`),
+* AMF0 script-data codec (:mod:`repro.media.amf`),
+* a byte-exact FLV muxer/demuxer (:mod:`repro.media.flv`),
+* minimal RTMP chunk-stream and MPEG-TS/HLS muxers
+  (:mod:`repro.media.rtmp`, :mod:`repro.media.hls`) so the Wira frame
+  parser has multiple ``PtlType`` values to dispatch on (Algorithm 1),
+* a live encoder model (:mod:`repro.media.source`) that generates GOPs
+  whose first-frame sizes vary inter- and intra-stream as measured in
+  the paper's Fig 1.
+"""
+
+from repro.media.frames import Gop, MediaFrame, MediaFrameType
+from repro.media.source import LiveSource, StreamProfile
+
+__all__ = [
+    "Gop",
+    "LiveSource",
+    "MediaFrame",
+    "MediaFrameType",
+    "StreamProfile",
+]

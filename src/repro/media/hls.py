@@ -1,0 +1,233 @@
+"""Minimal MPEG-TS segment muxing (the HLS wire format).
+
+HLS delivers media as MPEG-TS segments; the Wira parser only needs
+enough TS structure to (a) recognise the protocol (0x47 sync bytes every
+188 bytes) and (b) walk frame boundaries with sizes and types.  This
+module implements a real-but-small TS packetizer:
+
+* fixed 188-byte packets, sync byte 0x47;
+* video on PID 256, audio on PID 257, metadata on PID 258;
+* one PES packet per frame, ``payload_unit_start_indicator`` marking
+  frame starts, PES header carrying a 33-bit PTS;
+* adaptation-field stuffing to fill the final packet of each frame, with
+  ``random_access_indicator`` set on I frames.
+
+PAT/PMT tables are omitted (the demuxer uses the fixed PIDs) — they
+carry no frame-boundary information.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.media.frames import MediaFrame, MediaFrameType
+
+TS_PACKET_SIZE = 188
+TS_SYNC_BYTE = 0x47
+
+PID_VIDEO = 256
+PID_AUDIO = 257
+PID_META = 258
+
+_FRAME_TO_PID = {
+    MediaFrameType.VIDEO_I: PID_VIDEO,
+    MediaFrameType.VIDEO_P: PID_VIDEO,
+    MediaFrameType.VIDEO_B: PID_VIDEO,
+    MediaFrameType.AUDIO: PID_AUDIO,
+    MediaFrameType.SCRIPT: PID_META,
+}
+
+# PES stream ids: 0xE0 video, 0xC0 audio, 0xBD private data.
+_PID_TO_STREAM_ID = {PID_VIDEO: 0xE0, PID_AUDIO: 0xC0, PID_META: 0xBD}
+
+# First payload byte after the PES header encodes the video frame type,
+# mirroring FLV's control nibble so frame types survive the round trip.
+_VIDEO_NIBBLE = {
+    MediaFrameType.VIDEO_I: 1,
+    MediaFrameType.VIDEO_P: 2,
+    MediaFrameType.VIDEO_B: 3,
+}
+_NIBBLE_VIDEO = {v: k for k, v in _VIDEO_NIBBLE.items()}
+
+
+class TsError(ValueError):
+    """Raised on malformed TS data."""
+
+
+@dataclass(frozen=True)
+class TsFrame:
+    """One reassembled PES payload."""
+
+    pid: int
+    pts_ms: int
+    payload: bytes
+    random_access: bool
+    wire_bytes: int = 0
+    """TS packet bytes (multiples of 188) that carried this frame."""
+
+    @property
+    def media_frame_type(self) -> MediaFrameType:
+        if self.pid == PID_META:
+            return MediaFrameType.SCRIPT
+        if self.pid == PID_AUDIO:
+            return MediaFrameType.AUDIO
+        if self.pid == PID_VIDEO:
+            if not self.payload:
+                raise TsError("empty video PES payload")
+            return _NIBBLE_VIDEO[self.payload[0] >> 4]
+        raise TsError(f"unexpected PID {self.pid}")
+
+    @property
+    def is_video(self) -> bool:
+        return self.pid == PID_VIDEO
+
+
+def _pes_packet(stream_id: int, pts_ms: int, payload: bytes) -> bytes:
+    pts = int(pts_ms * 90)  # 90 kHz clock
+    pts_bytes = bytes(
+        [
+            0x21 | ((pts >> 29) & 0x0E),
+            (pts >> 22) & 0xFF,
+            0x01 | ((pts >> 14) & 0xFE),
+            (pts >> 7) & 0xFF,
+            0x01 | ((pts << 1) & 0xFE),
+        ]
+    )
+    header = b"\x00\x00\x01" + bytes([stream_id])
+    # PES packet length of 0 means "unbounded" for video; use it always
+    # since frames can exceed 64 kB.
+    header += struct.pack(">H", 0)
+    header += bytes([0x80, 0x80, len(pts_bytes)])  # flags: PTS only
+    header += pts_bytes
+    return header + payload
+
+
+def mux(frames: Iterable[MediaFrame]) -> bytes:
+    """Serialise frames as an MPEG-TS segment."""
+    out = bytearray()
+    continuity: Dict[int, int] = {}
+    for frame in frames:
+        pid = _FRAME_TO_PID[frame.frame_type]
+        if frame.frame_type in _VIDEO_NIBBLE:
+            body = bytes([(_VIDEO_NIBBLE[frame.frame_type] << 4) | 7]) + frame.payload
+        else:
+            body = frame.payload
+        pes = _pes_packet(_PID_TO_STREAM_ID[pid], frame.pts_ms, body)
+        random_access = frame.frame_type == MediaFrameType.VIDEO_I
+        offset = 0
+        first = True
+        while offset < len(pes) or first:
+            cc = continuity.get(pid, 0)
+            continuity[pid] = (cc + 1) & 0x0F
+            remaining = len(pes) - offset
+            header = bytearray(4)
+            header[0] = TS_SYNC_BYTE
+            header[1] = ((0x40 if first else 0x00) | (pid >> 8)) & 0x5F
+            header[2] = pid & 0xFF
+            payload_capacity = TS_PACKET_SIZE - 4
+            needs_adaptation = remaining < payload_capacity or (first and random_access)
+            if needs_adaptation:
+                adaptation_len = payload_capacity - min(remaining, payload_capacity - 2) - 1
+                if adaptation_len < 1:
+                    adaptation_len = 1
+                flags = 0x40 if (first and random_access) else 0x00
+                adaptation = bytes([adaptation_len])
+                if adaptation_len >= 1:
+                    adaptation += bytes([flags])
+                    adaptation += b"\xff" * (adaptation_len - 1)
+                header[3] = 0x30 | cc  # adaptation + payload
+                take = payload_capacity - 1 - adaptation_len
+                chunk = pes[offset : offset + take]
+                out += header + adaptation + chunk
+                offset += take
+            else:
+                header[3] = 0x10 | cc  # payload only
+                chunk = pes[offset : offset + payload_capacity]
+                out += header + chunk
+                offset += payload_capacity
+            first = False
+    return bytes(out)
+
+
+class TsDemuxer:
+    """Incremental TS parser reassembling one PES frame per unit start."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._assembling: Dict[int, dict] = {}
+
+    def feed(self, data: bytes) -> List[TsFrame]:
+        self._buffer += data
+        frames: List[TsFrame] = []
+        while len(self._buffer) >= TS_PACKET_SIZE:
+            packet = bytes(self._buffer[:TS_PACKET_SIZE])
+            del self._buffer[:TS_PACKET_SIZE]
+            frames.extend(self._parse_packet(packet))
+        return frames
+
+    def _parse_packet(self, packet: bytes) -> List[TsFrame]:
+        if packet[0] != TS_SYNC_BYTE:
+            raise TsError("lost TS sync")
+        unit_start = bool(packet[1] & 0x40)
+        pid = ((packet[1] & 0x1F) << 8) | packet[2]
+        has_adaptation = bool(packet[3] & 0x20)
+        has_payload = bool(packet[3] & 0x10)
+        offset = 4
+        random_access = False
+        if has_adaptation:
+            adaptation_len = packet[4]
+            if adaptation_len >= 1:
+                random_access = bool(packet[5] & 0x40)
+            offset = 5 + adaptation_len
+        if not has_payload:
+            return []
+        payload = packet[offset:]
+        done: List[TsFrame] = []
+        if unit_start:
+            # The muxer writes each frame's packets contiguously, so a new
+            # unit start (on any PID) means every pending frame is complete;
+            # finishing them all preserves the original frame order.
+            done.extend(self.flush())
+            self._assembling[pid] = {
+                "data": bytearray(payload),
+                "random_access": random_access,
+                "wire_bytes": TS_PACKET_SIZE,
+            }
+        elif pid in self._assembling:
+            self._assembling[pid]["data"] += payload
+            self._assembling[pid]["wire_bytes"] += TS_PACKET_SIZE
+        return done
+
+    def _finish(self, pid: int) -> Optional[TsFrame]:
+        state = self._assembling.pop(pid, None)
+        if state is None:
+            return None
+        data = bytes(state["data"])
+        if data[:3] != b"\x00\x00\x01":
+            raise TsError("missing PES start code")
+        header_len = data[8]
+        pts = 0
+        if data[7] & 0x80:
+            p = data[9:14]
+            pts = (
+                ((p[0] >> 1) & 0x07) << 30
+                | p[1] << 22
+                | (p[2] >> 1) << 14
+                | p[3] << 7
+                | p[4] >> 1
+            )
+        payload = data[9 + header_len :]
+        return TsFrame(
+            pid, int(pts / 90), payload, state["random_access"], state["wire_bytes"]
+        )
+
+    def flush(self) -> List[TsFrame]:
+        """Finish any partially assembled frames (end of segment)."""
+        frames = []
+        for pid in list(self._assembling):
+            frame = self._finish(pid)
+            if frame is not None:
+                frames.append(frame)
+        return frames

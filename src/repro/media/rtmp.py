@@ -1,0 +1,178 @@
+"""Minimal RTMP chunk-stream muxing.
+
+The Wira parser dispatches on ``PtlType`` (Algorithm 1: "Obtain PtlType;
+if PtlType ∉ PtlSet return -1"), so the reproduction needs more than one
+live container.  This module implements a working subset of the RTMP
+chunk stream (Adobe RTMP spec §5.3): type-0 chunk headers carrying
+audio (8) / video (9) / data (18) messages, with type-3 continuation
+headers when a message exceeds the chunk size.
+
+The stream is prefixed with the single C0 version byte (0x03) that also
+serves as the protocol signature for parser dispatch.  The handshake
+random blobs (C1/S1) are omitted — they carry no framing information.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.media.frames import MediaFrame, MediaFrameType
+
+RTMP_VERSION_BYTE = 0x03
+DEFAULT_CHUNK_SIZE = 4096
+
+MSG_AUDIO = 8
+MSG_VIDEO = 9
+MSG_DATA = 18
+
+_CSID_MEDIA = 4
+
+_FRAME_TO_MSG = {
+    MediaFrameType.AUDIO: MSG_AUDIO,
+    MediaFrameType.SCRIPT: MSG_DATA,
+    MediaFrameType.VIDEO_I: MSG_VIDEO,
+    MediaFrameType.VIDEO_P: MSG_VIDEO,
+    MediaFrameType.VIDEO_B: MSG_VIDEO,
+}
+
+_VIDEO_NIBBLE = {
+    MediaFrameType.VIDEO_I: 1,
+    MediaFrameType.VIDEO_P: 2,
+    MediaFrameType.VIDEO_B: 3,
+}
+_NIBBLE_VIDEO = {v: k for k, v in _VIDEO_NIBBLE.items()}
+
+
+class RtmpError(ValueError):
+    """Raised on malformed RTMP chunk data."""
+
+
+@dataclass(frozen=True)
+class RtmpMessage:
+    """One reassembled RTMP message."""
+
+    message_type: int
+    timestamp_ms: int
+    payload: bytes
+
+    @property
+    def media_frame_type(self) -> MediaFrameType:
+        if self.message_type == MSG_DATA:
+            return MediaFrameType.SCRIPT
+        if self.message_type == MSG_AUDIO:
+            return MediaFrameType.AUDIO
+        if self.message_type == MSG_VIDEO:
+            if not self.payload:
+                raise RtmpError("empty video message")
+            return _NIBBLE_VIDEO[self.payload[0] >> 4]
+        raise RtmpError(f"unknown message type {self.message_type}")
+
+    @property
+    def is_video(self) -> bool:
+        return self.message_type == MSG_VIDEO
+
+
+def _message_payload(frame: MediaFrame) -> bytes:
+    if frame.frame_type == MediaFrameType.SCRIPT:
+        return frame.payload
+    if frame.frame_type == MediaFrameType.AUDIO:
+        return b"\xaf" + frame.payload
+    control = (_VIDEO_NIBBLE[frame.frame_type] << 4) | 7
+    return bytes([control]) + frame.payload
+
+
+def mux(
+    frames: Iterable[MediaFrame],
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    include_version_byte: bool = True,
+) -> bytes:
+    """Serialise frames as an RTMP chunk stream."""
+    out = bytearray()
+    if include_version_byte:
+        out.append(RTMP_VERSION_BYTE)
+    for frame in frames:
+        payload = _message_payload(frame)
+        message_type = _FRAME_TO_MSG[frame.frame_type]
+        # Type-0 chunk header: fmt=0, csid, timestamp u24, length u24,
+        # type u8, stream id u32 little-endian.
+        out.append((0 << 6) | _CSID_MEDIA)
+        out += min(frame.pts_ms, 0xFFFFFF).to_bytes(3, "big")
+        out += len(payload).to_bytes(3, "big")
+        out.append(message_type)
+        out += struct.pack("<I", 1)
+        out += payload[:chunk_size]
+        sent = min(len(payload), chunk_size)
+        while sent < len(payload):
+            out.append((3 << 6) | _CSID_MEDIA)  # type-3 continuation
+            take = min(chunk_size, len(payload) - sent)
+            out += payload[sent : sent + take]
+            sent += take
+    return bytes(out)
+
+
+class RtmpDemuxer:
+    """Incremental RTMP chunk-stream parser (single chunk stream)."""
+
+    def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE, expect_version_byte: bool = True) -> None:
+        self.chunk_size = chunk_size
+        self._buffer = bytearray()
+        self._version_seen = not expect_version_byte
+        self._pending: Optional[dict] = None
+
+    def feed(self, data: bytes) -> List[RtmpMessage]:
+        self._buffer += data
+        messages: List[RtmpMessage] = []
+        if not self._version_seen:
+            if not self._buffer:
+                return messages
+            if self._buffer[0] != RTMP_VERSION_BYTE:
+                raise RtmpError(f"bad RTMP version byte 0x{self._buffer[0]:02x}")
+            del self._buffer[:1]
+            self._version_seen = True
+        while True:
+            message = self._try_parse()
+            if message is None:
+                break
+            messages.append(message)
+        return messages
+
+    def _try_parse(self) -> Optional[RtmpMessage]:
+        if self._pending is None:
+            # Need a type-0 header: 1 + 11 bytes.
+            if len(self._buffer) < 12:
+                return None
+            fmt = self._buffer[0] >> 6
+            if fmt != 0:
+                raise RtmpError(f"expected type-0 chunk header, got fmt={fmt}")
+            timestamp = int.from_bytes(self._buffer[1:4], "big")
+            length = int.from_bytes(self._buffer[4:7], "big")
+            message_type = self._buffer[7]
+            del self._buffer[:12]
+            self._pending = {
+                "timestamp": timestamp,
+                "length": length,
+                "type": message_type,
+                "data": bytearray(),
+            }
+        pending = self._pending
+        while len(pending["data"]) < pending["length"]:
+            already = len(pending["data"])
+            if already and already % self.chunk_size == 0:
+                # Expect a type-3 continuation byte.
+                if not self._buffer:
+                    return None
+                if self._buffer[0] >> 6 != 3:
+                    raise RtmpError("expected type-3 continuation header")
+                del self._buffer[:1]
+            need = min(self.chunk_size - (already % self.chunk_size), pending["length"] - already)
+            if not self._buffer:
+                return None
+            take = min(need, len(self._buffer))
+            pending["data"] += self._buffer[:take]
+            del self._buffer[:take]
+            if take < need:
+                return None
+        self._pending = None
+        return RtmpMessage(pending["type"], pending["timestamp"], bytes(pending["data"]))

@@ -1,0 +1,22 @@
+"""Measurement and reporting utilities for the evaluation."""
+
+from repro.metrics.stats import (
+    Cdf,
+    coefficient_of_variation,
+    mean,
+    percentile,
+)
+from repro.metrics.collector import MetricSeries, SchemeCollector
+from repro.metrics.report import Table, format_ms, format_pct
+
+__all__ = [
+    "Cdf",
+    "MetricSeries",
+    "SchemeCollector",
+    "Table",
+    "coefficient_of_variation",
+    "format_ms",
+    "format_pct",
+    "mean",
+    "percentile",
+]

@@ -1,0 +1,68 @@
+"""Sample collection across sessions and schemes."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.metrics.stats import Cdf, mean, percentile
+
+
+class MetricSeries:
+    """A named series of float samples with the paper's summaries."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: List[float] = []
+
+    def add(self, value: Optional[float]) -> None:
+        """Record a sample; ``None`` values are skipped (incomplete)."""
+        if value is not None:
+            self.samples.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def avg(self) -> float:
+        return mean(self.samples)
+
+    def p(self, q: float) -> float:
+        return percentile(self.samples, q)
+
+    def cdf(self) -> Cdf:
+        return Cdf(self.samples)
+
+    def improvement_over(self, other: "MetricSeries", q: Optional[float] = None) -> float:
+        """Optimisation ratio vs. a baseline series (positive = better).
+
+        ``q=None`` compares averages; otherwise the q-th percentiles.
+        Matches the paper's "optimization ratio": (base − ours) / base.
+        """
+        ours = self.avg if q is None else self.p(q)
+        base = other.avg if q is None else other.p(q)
+        if base == 0:
+            return 0.0
+        return (base - ours) / base
+
+
+class SchemeCollector:
+    """Samples bucketed by (scheme, metric) with optional sub-buckets."""
+
+    def __init__(self) -> None:
+        self._series: Dict[tuple, MetricSeries] = {}
+
+    def series(self, scheme: str, metric: str, bucket: str = "") -> MetricSeries:
+        key = (scheme, metric, bucket)
+        if key not in self._series:
+            self._series[key] = MetricSeries(f"{scheme}/{metric}" + (f"/{bucket}" if bucket else ""))
+        return self._series[key]
+
+    def add(self, scheme: str, metric: str, value: Optional[float], bucket: str = "") -> None:
+        self.series(scheme, metric, bucket).add(value)
+
+    def schemes(self) -> List[str]:
+        return sorted({scheme for scheme, _, _ in self._series})
+
+    def buckets(self, metric: str) -> List[str]:
+        return sorted({b for _, m, b in self._series if m == metric and b})

@@ -1,0 +1,58 @@
+"""Paper-style ASCII reporting.
+
+Every benchmark prints the rows/series of its table or figure through
+these helpers, so EXPERIMENTS.md's paper-vs-measured comparisons come
+straight from benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_ms(seconds: Optional[float]) -> str:
+    """Render a duration in the paper's milliseconds."""
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1000:.1f}ms"
+
+
+def format_pct(fraction: Optional[float], signed: bool = False) -> str:
+    """Render a fraction as a percentage."""
+    if fraction is None:
+        return "-"
+    sign = "+" if signed and fraction > 0 else ""
+    return f"{sign}{fraction * 100:.1f}%"
+
+
+class Table:
+    """Minimal fixed-width table printer."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title]
+        header = " | ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # noqa: A003 - deliberate, mirrors logging
+        print()
+        print(self.render())

@@ -1,0 +1,34 @@
+"""QUIC-like transport substrate for the Wira reproduction.
+
+The paper implemented Wira inside LiteSpeed's LSQUIC (Q043).  This package
+provides an offline, pure-Python equivalent with the pieces Wira touches:
+
+* byte-exact wire format — variable-length integers
+  (:mod:`repro.quic.varint`), frames (:mod:`repro.quic.frames`) including
+  the Wira ``Hx_QoS`` frame (type ``0x1f``, §IV-B), and packets
+  (:mod:`repro.quic.packet`);
+* RFC 9002-style RTT estimation (:mod:`repro.quic.rtt`), ACK tracking
+  (:mod:`repro.quic.ack_manager`) and loss recovery — packet-threshold,
+  time-threshold and PTO (:mod:`repro.quic.loss_recovery`);
+* a token-bucket pacer (:mod:`repro.quic.pacer`);
+* pluggable congestion control (:mod:`repro.quic.cc`) with BBRv1 — the CC
+  the paper deploys Wira on — plus CUBIC and NewReno;
+* stream send/receive machinery (:mod:`repro.quic.stream`) and the
+  endpoint state machine (:mod:`repro.quic.connection`) supporting both
+  0-RTT and 1-RTT handshakes, whose distinction §VI evaluates.
+
+Wira's hooks are the :meth:`~repro.quic.cc.base.CongestionController.
+set_initial_window` / ``set_initial_pacing_rate`` overrides applied by the
+send controller before the first data packet leaves.
+"""
+
+from repro.quic.config import QuicConfig
+from repro.quic.connection import Connection, ConnectionStats, HandshakeMode, Role
+
+__all__ = [
+    "Connection",
+    "ConnectionStats",
+    "HandshakeMode",
+    "QuicConfig",
+    "Role",
+]

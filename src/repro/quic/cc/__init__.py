@@ -1,0 +1,42 @@
+"""Pluggable congestion control.
+
+The paper deploys Wira's initial-parameter overrides on **BBRv1**
+("we select the BBR (with version 1) scheme to support the above
+parameter configurations", §VI).  :mod:`repro.quic.cc.bbr` is therefore
+the primary controller; :mod:`repro.quic.cc.cubic` and
+:mod:`repro.quic.cc.reno` exist for substrate ablations.
+
+Every controller honours the two Wira hooks on
+:class:`~repro.quic.cc.base.CongestionController`:
+``set_initial_window`` and ``set_initial_pacing_rate``.
+"""
+
+from repro.quic.cc.base import CongestionController
+from repro.quic.cc.bbr import BbrSender
+from repro.quic.cc.cubic import CubicSender
+from repro.quic.cc.reno import RenoSender
+
+CONTROLLERS = {
+    "bbr": BbrSender,
+    "cubic": CubicSender,
+    "reno": RenoSender,
+}
+
+
+def make_controller(name: str, **kwargs) -> CongestionController:
+    """Instantiate a controller by name (``bbr``/``cubic``/``reno``)."""
+    try:
+        cls = CONTROLLERS[name]
+    except KeyError:
+        raise ValueError(f"unknown congestion controller {name!r}") from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "BbrSender",
+    "CongestionController",
+    "CubicSender",
+    "RenoSender",
+    "CONTROLLERS",
+    "make_controller",
+]

@@ -1,0 +1,83 @@
+"""Per-ACK delivery-rate sampling (BBR bandwidth sampler).
+
+Implements the estimator from draft-cheng-iccrg-delivery-rate-estimation:
+each sent packet snapshots the connection's ``delivered`` counter; when
+the packet is acknowledged, the delivery rate over the interval is
+``Δdelivered / Δtime`` where the interval honours both the send and ack
+clocks.  Samples taken while the sender was application-limited are
+flagged so BBR does not let them *decrease* the bandwidth estimate — a
+detail that matters for short first-frame flows, which are app-limited
+almost by definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.quic.sent_packet import SentPacket
+
+
+@dataclass(frozen=True)
+class BandwidthSample:
+    """One delivery-rate observation."""
+
+    bandwidth_bps: float
+    rtt: float
+    is_app_limited: bool
+
+
+class BandwidthSampler:
+    """Tracks delivered bytes and produces per-ACK rate samples."""
+
+    def __init__(self) -> None:
+        self.delivered = 0
+        self.delivered_time = 0.0
+        self.first_sent_time = 0.0
+        self._app_limited_until = 0  # `delivered` value that clears the flag
+        self.total_sent = 0
+
+    @property
+    def is_app_limited(self) -> bool:
+        return self._app_limited_until > self.delivered
+
+    def on_packet_sent(self, packet: SentPacket, bytes_in_flight: int, now: float) -> None:
+        """Snapshot delivery state into the departing packet."""
+        if bytes_in_flight == 0:
+            # Restarting from idle: reset the send-side clock.
+            self.delivered_time = now
+            self.first_sent_time = now
+        packet.delivered = self.delivered
+        packet.delivered_time = self.delivered_time
+        packet.first_sent_time = self.first_sent_time
+        packet.is_app_limited = self.is_app_limited
+        self.total_sent += packet.size
+        self.first_sent_time = now
+
+    def on_packet_acked(self, packet: SentPacket, now: float) -> Optional[BandwidthSample]:
+        """Advance delivery state and compute the packet's rate sample."""
+        self.delivered += packet.size
+        self.delivered_time = now
+
+        send_elapsed = packet.sent_time - packet.first_sent_time
+        ack_elapsed = now - packet.delivered_time
+        interval = max(send_elapsed, ack_elapsed)
+        delivered_delta = self.delivered - packet.delivered
+        if interval <= 0:
+            return None
+        bandwidth = delivered_delta * 8.0 / interval
+        return BandwidthSample(
+            bandwidth_bps=bandwidth,
+            rtt=now - packet.sent_time,
+            is_app_limited=packet.is_app_limited,
+        )
+
+    def on_app_limited(self) -> None:
+        """Mark the sampler app-limited until current in-flight drains."""
+        self._app_limited_until = self.delivered + 1
+        # The flag is effectively cleared once `delivered` catches up,
+        # i.e. every packet outstanding at this moment has been acked.
+
+    def note_in_flight(self, bytes_in_flight: int) -> None:
+        """Extend the app-limited horizon to cover current in-flight."""
+        self._app_limited_until = self.delivered + max(1, bytes_in_flight)

@@ -1,0 +1,73 @@
+"""NewReno congestion control (RFC 9002 appendix) — secondary baseline."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.quic.cc.base import CongestionController, DEFAULT_MSS
+from repro.quic.rtt import RttEstimator
+from repro.quic.sent_packet import SentPacket
+
+LOSS_REDUCTION_FACTOR = 0.5
+
+
+class RenoSender(CongestionController):
+    """Slow start + AIMD congestion avoidance, one reduction per episode."""
+
+    def __init__(
+        self,
+        rtt: Optional[RttEstimator] = None,
+        mss: int = DEFAULT_MSS,
+        initial_window_packets: int = 10,
+    ) -> None:
+        super().__init__(rtt or RttEstimator(), mss, initial_window_packets)
+        self.ssthresh = float("inf")
+        self._recovery_until = -1
+        self._largest_sent = -1
+        self._ack_accumulator = 0
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self._cwnd < self.ssthresh
+
+    @property
+    def pacing_rate_bps(self) -> float:
+        if self._initial_pacing_rate_bps is not None and not self.rtt.has_samples:
+            return self._initial_pacing_rate_bps
+        gain = 2.0 if self.in_slow_start else 1.2
+        return gain * self._cwnd * 8.0 / self.rtt.smoothed_or_initial()
+
+    def on_packet_sent(self, packet: SentPacket, bytes_in_flight: int, now: float) -> None:
+        self._largest_sent = max(self._largest_sent, packet.packet_number)
+
+    def on_packets_acked(
+        self,
+        acked: List[SentPacket],
+        bytes_in_flight: int,
+        now: float,
+    ) -> None:
+        for packet in acked:
+            if packet.packet_number <= self._recovery_until:
+                continue
+            if self.in_slow_start:
+                self._cwnd += packet.size
+            else:
+                self._ack_accumulator += packet.size
+                if self._ack_accumulator >= self._cwnd:
+                    self._ack_accumulator = 0
+                    self._cwnd += self.mss
+
+    def on_packets_lost(
+        self,
+        lost: List[SentPacket],
+        bytes_in_flight: int,
+        now: float,
+    ) -> None:
+        if not lost:
+            return
+        largest_lost = max(p.packet_number for p in lost)
+        if largest_lost <= self._recovery_until:
+            return
+        self._recovery_until = self._largest_sent
+        self._cwnd = max(int(self._cwnd * LOSS_REDUCTION_FACTOR), 2 * self.mss)
+        self.ssthresh = self._cwnd

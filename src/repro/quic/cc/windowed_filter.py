@@ -1,0 +1,84 @@
+"""Kathleen Nichols' windowed min/max estimator, as used by BBR.
+
+Keeps the best (max or min) three samples over a sliding window measured
+in arbitrary "time" units (BBR uses round-trip counts for the bandwidth
+filter and seconds for the RTT filter).  This is a faithful port of the
+algorithm in Linux's ``lib/win_minmax.c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Optional, TypeVar
+
+T = TypeVar("T", int, float)
+
+
+@dataclass
+class _Sample(Generic[T]):
+    time: float
+    value: T
+
+
+class WindowedFilter(Generic[T]):
+    """Windowed extremum filter with three-sample recency tracking.
+
+    Parameters
+    ----------
+    window:
+        Window length in the caller's time unit.
+    is_max:
+        ``True`` for a max filter (bandwidth), ``False`` for min (RTT).
+    """
+
+    def __init__(self, window: float, is_max: bool = True) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.is_max = is_max
+        self._estimates: Optional[list] = None
+
+    def _better(self, a: T, b: T) -> bool:
+        return a >= b if self.is_max else a <= b
+
+    def reset(self, value: T, time: float) -> None:
+        sample = _Sample(time, value)
+        self._estimates = [sample, sample, sample]
+
+    def update(self, value: T, time: float) -> T:
+        """Insert a sample at ``time``; returns the current best."""
+        if self._estimates is None:
+            self.reset(value, time)
+            assert self._estimates is not None
+            return self._estimates[0].value
+
+        best, second, third = self._estimates
+        sample = _Sample(time, value)
+
+        if self._better(value, best.value) or time - third.time > self.window:
+            # New overall best, or the window wholly expired.
+            self.reset(value, time)
+            return value
+
+        if self._better(value, second.value):
+            self._estimates[1] = sample
+            self._estimates[2] = sample
+        elif self._better(value, third.value):
+            self._estimates[2] = sample
+
+        # Expire stale bests by promoting newer estimates.
+        best, second, third = self._estimates
+        if time - best.time > self.window:
+            self._estimates = [second, third, sample]
+        elif time - second.time > self.window / 2 and second is best:
+            self._estimates[1] = sample
+            self._estimates[2] = sample
+        elif time - third.time > self.window / 4 and third is second:
+            self._estimates[2] = sample
+        return self._estimates[0].value
+
+    def get(self) -> Optional[T]:
+        """Current best estimate, or ``None`` before any sample."""
+        if self._estimates is None:
+            return None
+        return self._estimates[0].value

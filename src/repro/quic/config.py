@@ -1,0 +1,56 @@
+"""Transport configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class QuicConfig:
+    """Knobs for a :class:`~repro.quic.connection.Connection`.
+
+    Defaults mirror the common QUIC deployment values the paper's LSQUIC
+    baseline would use; the Wira schemes override the *initial* cwnd and
+    pacing rate through the congestion-controller hooks instead of
+    through this config.
+    """
+
+    mss: int = 1252
+    """Max payload bytes per packet (1500 MTU − IP/UDP/QUIC overhead)."""
+
+    udp_overhead: int = 28
+    """IPv4 + UDP header bytes added to each datagram on the wire."""
+
+    initial_rtt: float = 0.1
+    """RTT assumed before any sample exists (PTO seeding)."""
+
+    max_ack_delay: float = 0.025
+    """How long a receiver may sit on a pending ACK."""
+
+    ack_every: int = 2
+    """Ack-eliciting packets per immediate ACK."""
+
+    initial_window_packets: int = 10
+    """Default initial congestion window (RFC 6928) in packets."""
+
+    congestion_controller: str = "bbr"
+    """One of ``bbr``, ``cubic``, ``reno``."""
+
+    pacer_burst_packets: int = 10
+    """Token-bucket burst allowance in packets."""
+
+    min_rtt_window: float = 10.0
+    """Horizon of the windowed minimum RTT estimate, seconds."""
+
+    max_pto_count: int = 10
+    """Consecutive probe timeouts before the connection gives up
+    (a pragmatic stand-in for RFC 9000's idle timeout: after ~10
+    doublings the peer is unreachable for all practical purposes)."""
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0:
+            raise ValueError("mss must be positive")
+        if self.initial_rtt <= 0:
+            raise ValueError("initial_rtt must be positive")
+        if self.ack_every < 1:
+            raise ValueError("ack_every must be >= 1")

@@ -1,0 +1,559 @@
+"""Endpoint state machine: packetisation, handshake, recovery, pacing.
+
+A :class:`Connection` is one side of a QUIC-like session running on the
+discrete-event simulator.  It owns
+
+* the handshake (0-RTT or 1-RTT, §VI of the paper evaluates both),
+* stream packetisation under congestion-window and pacing constraints,
+* ACK generation and loss recovery,
+* the Wira extension points: handshake tags surface to the application
+  (``on_client_hello``) so the server can read the ``HQST`` cookie, and
+  ``send_hx_qos`` pushes Hx_QoS frames for periodic synchronisation.
+
+Simplifications vs. RFC 9000, chosen because they do not affect
+first-frame timing: a single packet-number space, no AEAD on packets, no
+flow control (windows are assumed ample for a ≤250 KB first frame), no
+connection migration, no datagram coalescing.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.quic.ack_manager import AckManager
+from repro.quic.cc import make_controller
+from repro.quic.cc.base import CongestionController
+from repro.quic.config import QuicConfig
+from repro.quic.frames import (
+    AckFrame,
+    CryptoFrame,
+    Frame,
+    HandshakeDoneFrame,
+    HxQosFrame,
+    PaddingFrame,
+    PingFrame,
+    StreamFrame,
+)
+from repro.quic.handshake import (
+    HandshakeMessage,
+    HandshakeMessageType,
+    chlo,
+    rej,
+    shlo,
+)
+from repro.quic.loss_recovery import LossRecovery
+from repro.quic.packet import Packet, PacketType
+from repro.quic.pacer import Pacer
+from repro.quic.rtt import RttEstimator
+from repro.quic.sent_packet import SentPacket
+from repro.quic.stream import RecvStream, SendStream
+from repro.simnet.engine import EventLoop
+from repro.simnet.link import Datagram
+
+_STREAM_FRAME_OVERHEAD = 40  # header + stream-frame field upper bound
+
+
+class Role(enum.Enum):
+    CLIENT = "client"
+    SERVER = "server"
+
+
+class HandshakeMode(enum.Enum):
+    """How the connection is established (paper §VI).
+
+    ``ZERO_RTT``: the client has a cached server config and sends the
+    request together with its (full) CHLO — ~90 % of production streams.
+    ``ONE_RTT``: the server rejects the inchoate CHLO once, gaining an
+    accurate RTT sample before any data flows.
+    """
+
+    ZERO_RTT = "0rtt"
+    ONE_RTT = "1rtt"
+
+
+@dataclass
+class ConnectionStats:
+    """Counters the experiments read off a finished session."""
+
+    packets_sent: int = 0
+    packets_received: int = 0
+    packets_lost: int = 0
+    data_packets_sent: int = 0
+    data_packets_lost: int = 0
+    bytes_sent: int = 0
+    bytes_retransmitted: int = 0
+    duplicate_packets: int = 0
+    pto_count: int = 0
+    handshake_completed_at: Optional[float] = None
+    handshake_rtt_sample: Optional[float] = None
+
+    def data_loss_rate(self) -> float:
+        """Fraction of data packets declared lost (FFLR numerator)."""
+        if self.data_packets_sent == 0:
+            return 0.0
+        return self.data_packets_lost / self.data_packets_sent
+
+    def snapshot(self) -> "ConnectionStats":
+        return ConnectionStats(**vars(self))
+
+
+class Connection:
+    """One endpoint of a simulated QUIC-like connection.
+
+    Parameters
+    ----------
+    loop:
+        Simulator event loop.
+    role:
+        ``Role.CLIENT`` or ``Role.SERVER``.
+    send_datagram:
+        Transmit hook, e.g. ``path.send_to_server``.
+    config:
+        Transport knobs; see :class:`~repro.quic.config.QuicConfig`.
+    handshake_mode:
+        Client only: 0-RTT vs 1-RTT establishment.
+    handshake_tags:
+        Client only: extra CHLO tags — Wira's ``HQST`` cookie goes here.
+    rng:
+        Randomness source (connection-ID generation).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        role: Role,
+        send_datagram: Callable[[Datagram], bool],
+        config: Optional[QuicConfig] = None,
+        handshake_mode: HandshakeMode = HandshakeMode.ZERO_RTT,
+        handshake_tags: Optional[Dict[bytes, bytes]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.loop = loop
+        self.role = role
+        self.config = config or QuicConfig()
+        self.handshake_mode = handshake_mode
+        self._handshake_tags = dict(handshake_tags or {})
+        self._send_datagram = send_datagram
+        rng = rng or random.Random(0)
+        self.connection_id = bytes(rng.getrandbits(8) for _ in range(8))
+
+        self.rtt = RttEstimator(
+            initial_rtt=self.config.initial_rtt,
+            min_rtt_window=self.config.min_rtt_window,
+        )
+        self.cc: CongestionController = make_controller(
+            self.config.congestion_controller,
+            rtt=self.rtt,
+            mss=self.config.mss,
+            initial_window_packets=self.config.initial_window_packets,
+        )
+        self.pacer = Pacer(
+            rate_bps=self.cc.pacing_rate_bps,
+            burst_bytes=self.config.pacer_burst_packets * self.config.mss,
+        )
+        self.loss_recovery = LossRecovery(self.rtt, self.config.max_ack_delay)
+        self.ack_manager = AckManager(self.config.max_ack_delay, self.config.ack_every)
+        self.stats = ConnectionStats()
+
+        self._next_packet_number = 0
+        self._send_streams: Dict[int, SendStream] = {}
+        self._recv_streams: Dict[int, RecvStream] = {}
+        self._fin_reported: Set[int] = set()
+        self._crypto_queue: List[HandshakeMessage] = []
+        self._crypto_offset = 0
+        self._seen_crypto_offsets: Set[int] = set()
+        self._control_queue: List[Frame] = []
+        self._timer = None
+        self._closed = False
+
+        # Handshake state.
+        self.handshake_complete = False
+        self._chlo_sent_at: Optional[float] = None
+        self._rej_sent_at: Optional[float] = None
+        self._rej_received = False
+
+        # Application callbacks.
+        self.on_stream_data: Optional[Callable[[int, bytes, bool], None]] = None
+        self.on_client_hello: Optional[
+            Callable[[Dict[bytes, bytes], Optional[float]], None]
+        ] = None
+        self.on_handshake_complete: Optional[Callable[[], None]] = None
+        self.on_hx_qos: Optional[Callable[[HxQosFrame], None]] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+
+    def start(self) -> None:
+        """Client only: launch the handshake (and any queued 0-RTT data)."""
+        if self.role != Role.CLIENT:
+            raise ValueError("only clients initiate the handshake")
+        full = self.handshake_mode == HandshakeMode.ZERO_RTT
+        self._queue_crypto(chlo(full=full, extra_tags=self._handshake_tags))
+        self._chlo_sent_at = self.loop.now
+        self._pump()
+
+    def send_stream_data(self, stream_id: int, data: bytes, fin: bool = False) -> None:
+        """Queue application bytes on a stream and try to transmit."""
+        stream = self._send_streams.get(stream_id)
+        if stream is None:
+            stream = SendStream(stream_id)
+            self._send_streams[stream_id] = stream
+        stream.write(data, fin)
+        self._pump()
+
+    def send_hx_qos(self, frame: HxQosFrame) -> None:
+        """Queue a Wira Hx_QoS frame (periodic cookie synchronisation)."""
+        self._control_queue.append(frame)
+        self._pump()
+
+    def recv_stream(self, stream_id: int) -> Optional[RecvStream]:
+        return self._recv_streams.get(stream_id)
+
+    def measured_min_rtt(self) -> Optional[float]:
+        """Windowed MinRTT — the first Hx_QoS metric (§IV-B)."""
+        return self.rtt.min_rtt
+
+    def measured_max_bw(self) -> Optional[float]:
+        """Max delivery rate (bps) — the second Hx_QoS metric (§IV-B)."""
+        estimate = getattr(self.cc, "bandwidth_estimate", lambda: None)()
+        return estimate
+
+    @property
+    def bytes_in_flight(self) -> int:
+        return self.loss_recovery.bytes_in_flight
+
+    def close(self) -> None:
+        """Stop all timers; the connection no longer reacts to input."""
+        self._closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    # Receive path
+
+    def datagram_received(self, datagram: Datagram) -> None:
+        if self._closed:
+            return
+        packet = Packet.decode(datagram.payload)
+        self.stats.packets_received += 1
+        now = self.loop.now
+        duplicate = self.ack_manager.on_packet_received(
+            packet.packet_number, packet.ack_eliciting(), now
+        )
+        if duplicate:
+            self.stats.duplicate_packets += 1
+        else:
+            for frame in packet.frames:
+                self._process_frame(frame, now)
+        self._pump()
+
+    def _process_frame(self, frame: Frame, now: float) -> None:
+        if isinstance(frame, AckFrame):
+            self._on_ack(frame, now)
+        elif isinstance(frame, CryptoFrame):
+            self._on_crypto(frame, now)
+        elif isinstance(frame, StreamFrame):
+            self._on_stream(frame)
+        elif isinstance(frame, HxQosFrame):
+            if self.on_hx_qos is not None:
+                self.on_hx_qos(frame)
+        elif isinstance(frame, (PingFrame, PaddingFrame, HandshakeDoneFrame)):
+            pass
+        else:  # pragma: no cover - parse layer rejects unknown types
+            raise ValueError(f"unhandled frame {frame!r}")
+
+    def _on_ack(self, ack: AckFrame, now: float) -> None:
+        result = self.loss_recovery.on_ack_received(ack, now)
+        if result.newly_lost:
+            self._handle_losses(result.newly_lost, now)
+        if result.newly_acked:
+            self.cc.on_packets_acked(result.newly_acked, self.bytes_in_flight, now)
+        self.stats.pto_count = max(self.stats.pto_count, self.loss_recovery.pto_count)
+
+    def _on_crypto(self, frame: CryptoFrame, now: float) -> None:
+        if frame.offset in self._seen_crypto_offsets:
+            return
+        self._seen_crypto_offsets.add(frame.offset)
+        message = HandshakeMessage.decode(frame.data)
+        if message.message_type == HandshakeMessageType.CHLO:
+            self._on_chlo(message, now)
+        elif message.message_type == HandshakeMessageType.REJ:
+            self._on_rej(now)
+        elif message.message_type == HandshakeMessageType.SHLO:
+            self._on_shlo(now)
+
+    def _on_chlo(self, message: HandshakeMessage, now: float) -> None:
+        if self.role != Role.SERVER:
+            return
+        if not message.is_full_hello:
+            # 1-RTT path: demand a full CHLO and remember when we asked,
+            # which yields an RTT sample before any data is sent.
+            self._queue_crypto(rej())
+            self._rej_sent_at = now
+            return
+        if self.handshake_complete:
+            return
+        rtt_sample: Optional[float] = None
+        if self._rej_sent_at is not None:
+            rtt_sample = now - self._rej_sent_at
+            if rtt_sample > 0:
+                self.rtt.update(rtt_sample, now=now)
+        self.handshake_complete = True
+        self.stats.handshake_completed_at = now
+        self.stats.handshake_rtt_sample = rtt_sample
+        if self.on_client_hello is not None:
+            self.on_client_hello(message.tags, rtt_sample)
+        self._queue_crypto(shlo())
+
+    def _on_rej(self, now: float) -> None:
+        if self.role != Role.CLIENT or self._rej_received:
+            return
+        self._rej_received = True
+        if self._chlo_sent_at is not None:
+            sample = now - self._chlo_sent_at
+            if sample > 0:
+                self.rtt.update(sample, now=now)
+        self._queue_crypto(chlo(full=True, extra_tags=self._handshake_tags))
+
+    def _on_shlo(self, now: float) -> None:
+        if self.role != Role.CLIENT or self.handshake_complete:
+            return
+        self.handshake_complete = True
+        self.stats.handshake_completed_at = now
+        if self._chlo_sent_at is not None and self.rtt.min_rtt is None:
+            sample = now - self._chlo_sent_at
+            if sample > 0:
+                self.rtt.update(sample, now=now)
+        if self.on_handshake_complete is not None:
+            self.on_handshake_complete()
+
+    def _on_stream(self, frame: StreamFrame) -> None:
+        stream = self._recv_streams.get(frame.stream_id)
+        if stream is None:
+            stream = RecvStream(frame.stream_id)
+            self._recv_streams[frame.stream_id] = stream
+        fresh = stream.on_frame(frame.offset, frame.data, frame.fin)
+        newly_finished = stream.finished and frame.stream_id not in self._fin_reported
+        if newly_finished:
+            self._fin_reported.add(frame.stream_id)
+        if (fresh or newly_finished) and self.on_stream_data is not None:
+            self.on_stream_data(frame.stream_id, fresh, stream.finished)
+
+    # ------------------------------------------------------------------
+    # Loss handling
+
+    def _handle_losses(self, lost: List[SentPacket], now: float) -> None:
+        for packet in lost:
+            self.stats.packets_lost += 1
+            if any(isinstance(f, StreamFrame) for f in packet.frames):
+                self.stats.data_packets_lost += 1
+            self._requeue_frames(packet)
+        self.cc.on_packets_lost(lost, self.bytes_in_flight, now)
+
+    def _requeue_frames(self, packet: SentPacket) -> None:
+        for frame in packet.frames:
+            if isinstance(frame, StreamFrame):
+                stream = self._send_streams.get(frame.stream_id)
+                if stream is None:
+                    continue
+                if frame.data:
+                    stream.on_chunk_lost(frame.offset, len(frame.data))
+                    self.stats.bytes_retransmitted += len(frame.data)
+                elif frame.fin:
+                    stream.resend_fin()
+            elif isinstance(frame, CryptoFrame):
+                message = HandshakeMessage.decode(frame.data)
+                self._queue_crypto(message)
+            elif isinstance(frame, HxQosFrame):
+                self._control_queue.append(frame)
+
+    # ------------------------------------------------------------------
+    # Send path
+
+    def _queue_crypto(self, message: HandshakeMessage) -> None:
+        self._crypto_queue.append(message)
+
+    def _can_send_app_data(self) -> bool:
+        if self.role == Role.SERVER:
+            return self.handshake_complete
+        if self.handshake_mode == HandshakeMode.ZERO_RTT:
+            return True  # request rides with the CHLO
+        return self._rej_received  # 1-RTT: wait out the extra round trip
+
+    def _app_packet_type(self) -> PacketType:
+        if self.handshake_complete:
+            return PacketType.ONE_RTT
+        if self.role == Role.CLIENT:
+            return PacketType.ZERO_RTT
+        return PacketType.ONE_RTT
+
+    def _pump(self) -> None:
+        """Transmit whatever the handshake, cwnd and pacer allow."""
+        if self._closed:
+            return
+        now = self.loop.now
+        self.pacer.set_rate(max(self.cc.pacing_rate_bps, 1.0), now)
+
+        # If only control/handshake traffic is pending, mark the sampler
+        # app-limited *before* those packets snapshot their state, so
+        # their tiny delivery-rate samples cannot poison the model.
+        if self._next_pending_stream() is None:
+            self.cc.on_app_limited(self.bytes_in_flight)
+
+        # Handshake messages leave immediately (tiny, latency-critical).
+        while self._crypto_queue:
+            message = self._crypto_queue.pop(0)
+            frame = CryptoFrame(self._crypto_offset, message.encode())
+            self._crypto_offset += len(frame.data)
+            packet_type = (
+                PacketType.INITIAL if self.role == Role.CLIENT else PacketType.HANDSHAKE
+            )
+            self._send_packet(packet_type, [frame], in_flight=True, now=now)
+
+        # Application data: congestion-window and pacing constrained.
+        pacing_deadline: Optional[float] = None
+        if self._can_send_app_data():
+            while True:
+                pending_stream = self._next_pending_stream()
+                if pending_stream is None and not self._control_queue:
+                    break
+                if not self.cc.can_send(self.bytes_in_flight):
+                    break
+                wait = self.pacer.time_until_send(self.config.mss, now)
+                if wait > 1e-12:
+                    pacing_deadline = now + wait
+                    break
+                frames: List[Frame] = []
+                if self._control_queue:
+                    frames.extend(self._control_queue)
+                    self._control_queue.clear()
+                if pending_stream is not None:
+                    budget = self.config.mss - _STREAM_FRAME_OVERHEAD
+                    chunk = pending_stream.next_chunk(budget)
+                    if chunk is not None:
+                        frames.append(
+                            StreamFrame(chunk.stream_id, chunk.offset, chunk.data, chunk.fin)
+                        )
+                if not frames:
+                    break
+                self._send_packet(self._app_packet_type(), frames, in_flight=True, now=now)
+            if (
+                self._next_pending_stream() is None
+                and not self._control_queue
+                and self.cc.can_send(self.bytes_in_flight)
+            ):
+                self.cc.on_app_limited(self.bytes_in_flight)
+
+        # Standalone ACK if one is due and nothing carried it.
+        if self.ack_manager.should_ack_now(now):
+            ack = self.ack_manager.build_ack(now)
+            if ack is not None:
+                self._send_packet(self._app_packet_type(), [ack], in_flight=False, now=now)
+
+        self._reschedule_timer(pacing_deadline)
+
+    def _next_pending_stream(self) -> Optional[SendStream]:
+        for stream in self._send_streams.values():
+            if stream.has_data_to_send():
+                return stream
+        return None
+
+    def _send_packet(
+        self,
+        packet_type: PacketType,
+        frames: List[Frame],
+        in_flight: bool,
+        now: float,
+    ) -> None:
+        # Piggyback a pending ACK on any outgoing packet.
+        if in_flight and self.ack_manager.ack_deadline(now) is not None:
+            ack = self.ack_manager.build_ack(now)
+            if ack is not None:
+                frames = [ack] + frames
+        packet = Packet(
+            packet_type=packet_type,
+            connection_id=self.connection_id,
+            packet_number=self._next_packet_number,
+            frames=tuple(frames),
+        )
+        self._next_packet_number += 1
+        wire = packet.encode()
+        size = len(wire) + self.config.udp_overhead
+        sent = SentPacket(
+            packet_number=packet.packet_number,
+            sent_time=now,
+            size=size,
+            ack_eliciting=packet.ack_eliciting(),
+            in_flight=in_flight and packet.ack_eliciting(),
+            frames=packet.frames,
+        )
+        prior_in_flight = self.bytes_in_flight
+        self.cc.on_packet_sent(sent, prior_in_flight, now)
+        self.loss_recovery.on_packet_sent(sent)
+        if sent.in_flight:
+            self.pacer.on_packet_sent(size, now)
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += size
+        if any(isinstance(f, StreamFrame) for f in frames):
+            self.stats.data_packets_sent += 1
+        self._send_datagram(Datagram(wire, size=size))
+
+    # ------------------------------------------------------------------
+    # Timers
+
+    def _reschedule_timer(self, pacing_deadline: Optional[float] = None) -> None:
+        if self._closed:
+            return
+        deadlines = []
+        ack_deadline = self.ack_manager.ack_deadline(self.loop.now)
+        if ack_deadline is not None:
+            deadlines.append(ack_deadline)
+        if self.loss_recovery.loss_time is not None:
+            deadlines.append(self.loss_recovery.loss_time)
+        pto = self.loss_recovery.pto_deadline()
+        if pto is not None:
+            deadlines.append(pto)
+        if pacing_deadline is not None:
+            deadlines.append(pacing_deadline)
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not deadlines:
+            return
+        when = max(min(deadlines), self.loop.now)
+        self._timer = self.loop.call_at(when, self._on_timer)
+
+    def _on_timer(self) -> None:
+        if self._closed:
+            return
+        now = self.loop.now
+        lost = self.loss_recovery.check_loss_timer(now)
+        if lost:
+            self._handle_losses(lost, now)
+        pto = self.loss_recovery.pto_deadline()
+        if pto is not None and pto <= now + 1e-12:
+            self._on_pto(now)
+        self._pump()
+
+    def _on_pto(self, now: float) -> None:
+        if self.loss_recovery.pto_count >= self.config.max_pto_count:
+            # The peer has been unreachable across every backoff level;
+            # abandon the connection rather than retry into a black hole.
+            self.close()
+            return
+        probes = self.loss_recovery.on_pto_fired(now)
+        self.stats.pto_count = max(self.stats.pto_count, self.loss_recovery.pto_count)
+        retransmitted = False
+        for packet in probes:
+            has_payload = any(
+                isinstance(f, (StreamFrame, CryptoFrame, HxQosFrame)) for f in packet.frames
+            )
+            if has_payload:
+                self._requeue_frames(packet)
+                retransmitted = True
+        if not retransmitted:
+            self._control_queue.append(PingFrame())

@@ -1,0 +1,98 @@
+"""Handshake messages: tag-encoded CHLO / REJ / SHLO.
+
+Modelled on gQUIC's crypto handshake (the paper implements against LSQUIC
+Q043, a gQUIC version): messages are a type byte followed by
+``<Tag, TagLen, TagValue>`` entries, where tags are 4-byte ASCII names.
+Wira's ``HQST`` tag (§IV-B, Fig 8) rides in the CHLO exactly this way;
+its *value* encoding lives with the cookie logic in
+:mod:`repro.core.transport_cookie`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.quic.varint import decode_varint, encode_varint
+
+
+class HandshakeMessageType(enum.IntEnum):
+    CHLO = 0x01  # client hello (inchoate or full)
+    REJ = 0x02  # server reject — forces the 1-RTT path
+    SHLO = 0x03  # server hello — handshake complete
+
+
+TAG_FULL = b"FULL"  # CHLO: b"\x01" when the hello is full (post-REJ or 0-RTT)
+TAG_HQST = b"HQST"  # Wira: Hx_QoS synchronisation support + cookie echo
+TAG_SNI = b"SNI\x00"  # requested host, for flavour/diagnostics
+
+
+class HandshakeParseError(ValueError):
+    """Raised on malformed handshake messages."""
+
+
+@dataclass(frozen=True)
+class HandshakeMessage:
+    """One crypto-stream message."""
+
+    message_type: HandshakeMessageType
+    tags: Dict[bytes, bytes] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        out = bytearray([self.message_type])
+        out += encode_varint(len(self.tags))
+        for tag, value in sorted(self.tags.items()):
+            if len(tag) != 4:
+                raise ValueError(f"tag {tag!r} must be exactly 4 bytes")
+            out += tag
+            out += encode_varint(len(value))
+            out += value
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "HandshakeMessage":
+        if not data:
+            raise HandshakeParseError("empty handshake message")
+        try:
+            message_type = HandshakeMessageType(data[0])
+        except ValueError as exc:
+            raise HandshakeParseError(f"unknown message type 0x{data[0]:02x}") from exc
+        try:
+            count, offset = decode_varint(data, 1)
+            tags: Dict[bytes, bytes] = {}
+            for _ in range(count):
+                if offset + 4 > len(data):
+                    raise HandshakeParseError("truncated tag name")
+                tag = bytes(data[offset : offset + 4])
+                offset += 4
+                length, offset = decode_varint(data, offset)
+                if offset + length > len(data):
+                    raise HandshakeParseError("truncated tag value")
+                tags[tag] = bytes(data[offset : offset + length])
+                offset += length
+        except ValueError as exc:
+            raise HandshakeParseError(f"malformed handshake message: {exc}") from exc
+        return cls(message_type, tags)
+
+    @property
+    def is_full_hello(self) -> bool:
+        """For CHLOs: whether this hello may be answered with data."""
+        return self.tags.get(TAG_FULL, b"\x00") == b"\x01"
+
+
+def chlo(full: bool, extra_tags: Dict[bytes, bytes]) -> HandshakeMessage:
+    """Build a client hello."""
+    tags = dict(extra_tags)
+    tags[TAG_FULL] = b"\x01" if full else b"\x00"
+    return HandshakeMessage(HandshakeMessageType.CHLO, tags)
+
+
+def rej() -> HandshakeMessage:
+    """Build a server reject (demands a full CHLO — the 1-RTT path)."""
+    return HandshakeMessage(HandshakeMessageType.REJ, {})
+
+
+def shlo() -> HandshakeMessage:
+    """Build a server hello (handshake complete)."""
+    return HandshakeMessage(HandshakeMessageType.SHLO, {})

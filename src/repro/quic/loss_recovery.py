@@ -1,0 +1,170 @@
+"""Sender-side loss detection: packet threshold, time threshold and PTO.
+
+Implements the RFC 9002 recovery core the reproduction needs:
+
+* **packet threshold** — a packet is lost once ``kPacketThreshold`` (3)
+  later packets are acknowledged;
+* **time threshold** — a packet older than ``9/8 · max(sRTT, latestRTT)``
+  below the largest acked is lost after a timer;
+* **PTO** — when ack-eliciting data is in flight and nothing fires,
+  the probe timeout backs off exponentially.
+
+Losses matter doubly here: they feed the congestion controller *and* the
+paper's first-frame loss rate metric (FFLR, Fig 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.quic.frames import AckFrame
+from repro.quic.rtt import RttEstimator
+from repro.quic.sent_packet import SentPacket
+
+K_PACKET_THRESHOLD = 3
+
+
+@dataclass
+class AckResult:
+    """Outcome of processing one ACK frame."""
+
+    newly_acked: List[SentPacket] = field(default_factory=list)
+    newly_lost: List[SentPacket] = field(default_factory=list)
+    rtt_sample: Optional[float] = None
+    ack_delay: float = 0.0
+
+
+class LossRecovery:
+    """Tracks unacknowledged packets and classifies their fate."""
+
+    def __init__(self, rtt: RttEstimator, max_ack_delay: float = 0.025) -> None:
+        self.rtt = rtt
+        self.max_ack_delay = max_ack_delay
+        self.sent_packets: Dict[int, SentPacket] = {}
+        self.largest_acked: Optional[int] = None
+        self.pto_count = 0
+        self.bytes_in_flight = 0
+        self._loss_time: Optional[float] = None
+
+    def on_packet_sent(self, packet: SentPacket) -> None:
+        self.sent_packets[packet.packet_number] = packet
+        if packet.in_flight:
+            self.bytes_in_flight += packet.size
+
+    def on_ack_received(self, ack: AckFrame, now: float) -> AckResult:
+        """Process an ACK; updates RTT, detects losses, frees state."""
+        result = AckResult()
+        result.ack_delay = ack.ack_delay_us / 1e6
+
+        acked_numbers = [
+            pn
+            for pn in ack.acked_packet_numbers()
+            if pn in self.sent_packets and not self.sent_packets[pn].acked
+        ]
+        if not acked_numbers:
+            # Pure duplicate; still run time-threshold detection.
+            result.newly_lost = self._detect_lost(now)
+            return result
+
+        largest_newly_acked = max(acked_numbers)
+        if self.largest_acked is None or ack.largest_acked > self.largest_acked:
+            self.largest_acked = ack.largest_acked
+
+        for pn in acked_numbers:
+            packet = self.sent_packets[pn]
+            packet.acked = True
+            if packet.in_flight and not packet.lost:
+                self.bytes_in_flight -= packet.size
+            result.newly_acked.append(packet)
+
+        # RTT sample only from the largest newly-acked, and only if it is
+        # ack-eliciting (RFC 9002 §5.1).
+        largest_packet = self.sent_packets[largest_newly_acked]
+        if largest_packet.ack_eliciting and ack.largest_acked == largest_newly_acked:
+            result.rtt_sample = now - largest_packet.sent_time
+            self.rtt.update(result.rtt_sample, result.ack_delay, now)
+
+        result.newly_lost = self._detect_lost(now)
+        self.pto_count = 0
+        self._garbage_collect()
+        return result
+
+    def _detect_lost(self, now: float) -> List[SentPacket]:
+        if self.largest_acked is None:
+            return []
+        lost: List[SentPacket] = []
+        loss_delay = self.rtt.loss_delay()
+        self._loss_time = None
+        for packet in self.sent_packets.values():
+            if packet.resolved or packet.packet_number > self.largest_acked:
+                continue
+            if not packet.in_flight:
+                # ACK-only packets are not tracked for loss (RFC 9002 §2);
+                # resolve them silently once overtaken.
+                if self.largest_acked - packet.packet_number >= K_PACKET_THRESHOLD:
+                    packet.acked = True
+                continue
+            by_threshold = self.largest_acked - packet.packet_number >= K_PACKET_THRESHOLD
+            lost_deadline = packet.sent_time + loss_delay
+            by_time = lost_deadline <= now
+            if by_threshold or by_time:
+                packet.lost = True
+                if packet.in_flight:
+                    self.bytes_in_flight -= packet.size
+                lost.append(packet)
+            elif self._loss_time is None or lost_deadline < self._loss_time:
+                self._loss_time = lost_deadline
+        return lost
+
+    def check_loss_timer(self, now: float) -> List[SentPacket]:
+        """Run time-threshold detection when the loss timer fires."""
+        return self._detect_lost(now)
+
+    @property
+    def loss_time(self) -> Optional[float]:
+        """Earliest time a pending time-threshold loss will be declared."""
+        return self._loss_time
+
+    def has_ack_eliciting_in_flight(self) -> bool:
+        return any(
+            p.ack_eliciting and not p.resolved for p in self.sent_packets.values()
+        )
+
+    def pto_deadline(self) -> Optional[float]:
+        """Absolute PTO expiry, or ``None`` if nothing needs probing."""
+        candidates = [
+            p.sent_time for p in self.sent_packets.values() if p.ack_eliciting and not p.resolved
+        ]
+        if not candidates:
+            return None
+        pto = self.rtt.pto(self.max_ack_delay) * (2 ** self.pto_count)
+        return max(candidates) + pto
+
+    def on_pto_fired(self, now: float) -> List[SentPacket]:
+        """Back off and return the unresolved packets to probe with.
+
+        Following RFC 9002, PTO does not itself declare loss; the caller
+        retransmits data from the oldest unacked packet(s).
+        """
+        self.pto_count += 1
+        unresolved = [p for p in self.sent_packets.values() if p.ack_eliciting and not p.resolved]
+        unresolved.sort(key=lambda p: p.packet_number)
+        return unresolved[:2]
+
+    def oldest_unacked(self) -> Optional[SentPacket]:
+        pending = [p for p in self.sent_packets.values() if not p.resolved]
+        return min(pending, key=lambda p: p.packet_number, default=None)
+
+    def _garbage_collect(self, keep_window: int = 4096) -> None:
+        """Drop long-resolved packets to bound memory in long sessions."""
+        if len(self.sent_packets) < 2 * keep_window or self.largest_acked is None:
+            return
+        horizon = self.largest_acked - keep_window
+        stale = [
+            pn
+            for pn, packet in self.sent_packets.items()
+            if packet.resolved and pn < horizon
+        ]
+        for pn in stale:
+            del self.sent_packets[pn]

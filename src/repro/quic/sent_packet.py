@@ -1,0 +1,40 @@
+"""Per-packet bookkeeping for loss recovery and delivery-rate sampling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.quic.frames import Frame
+
+
+@dataclass
+class SentPacket:
+    """Metadata kept by the sender for every transmitted packet.
+
+    The delivery-rate fields (``delivered`` … ``is_app_limited``) snapshot
+    the connection's delivery state at send time, in the style of the BBR
+    bandwidth sampler (draft-cheng-iccrg-delivery-rate-estimation).
+    """
+
+    packet_number: int
+    sent_time: float
+    size: int
+    ack_eliciting: bool
+    in_flight: bool
+    frames: Tuple[Frame, ...] = field(default_factory=tuple)
+
+    # Delivery-rate sampler snapshot (filled by the connection).
+    delivered: int = 0
+    delivered_time: float = 0.0
+    first_sent_time: float = 0.0
+    is_app_limited: bool = False
+
+    # Lifecycle flags.
+    acked: bool = False
+    lost: bool = False
+
+    @property
+    def resolved(self) -> bool:
+        """True once the packet is either acknowledged or declared lost."""
+        return self.acked or self.lost

@@ -1,0 +1,29 @@
+"""Discrete-event network simulator underpinning the Wira reproduction.
+
+The paper evaluated Wira on production Internet paths between Tencent CDN
+proxies and live-streaming clients.  This package provides the offline
+substitute: a deterministic discrete-event simulator with an explicit clock
+(:mod:`repro.simnet.engine`), rate/delay/loss/buffer link models
+(:mod:`repro.simnet.link`), duplex paths (:mod:`repro.simnet.path`) and
+time-varying condition traces (:mod:`repro.simnet.trace`).
+
+All randomness flows through caller-supplied :class:`random.Random`
+instances so experiment runs are reproducible bit-for-bit.
+"""
+
+from repro.simnet.engine import Event, EventLoop
+from repro.simnet.link import Datagram, Link, LinkStats
+from repro.simnet.path import NetworkConditions, Path
+from repro.simnet.trace import ConditionTrace, TracePoint
+
+__all__ = [
+    "ConditionTrace",
+    "Datagram",
+    "Event",
+    "EventLoop",
+    "Link",
+    "LinkStats",
+    "NetworkConditions",
+    "Path",
+    "TracePoint",
+]

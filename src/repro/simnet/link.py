@@ -1,0 +1,172 @@
+"""Unidirectional bottleneck link with rate, delay, buffer and loss.
+
+The model matches the paper's testbed configuration knobs (§II footnote 2:
+"8Mbps bandwidth, 3% loss rate, 50ms RTT and 25KB network buffer"):
+
+* **bandwidth** — serialisation: a packet of ``n`` bytes occupies the link
+  for ``8 n / bandwidth`` seconds,
+* **propagation delay** — added after serialisation completes,
+* **drop-tail buffer** — packets that arrive while the link is busy queue
+  up to ``buffer_bytes``; overflow is a *congestion* loss,
+* **random loss** — independent Bernoulli drop applied on admission,
+  modelling non-congestive (e.g. wireless) loss.
+
+Packets are opaque :class:`Datagram` objects; the link only reads their
+size.  Delivery order is FIFO.  Condition changes (bandwidth, delay, loss)
+take effect for packets admitted after the change.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional
+from collections import deque
+
+from repro.simnet.engine import EventLoop
+
+
+@dataclass
+class Datagram:
+    """A packet travelling through the simulated network.
+
+    Attributes
+    ----------
+    payload:
+        Opaque wire bytes (the QUIC-like packet produced by
+        :mod:`repro.quic.packet`).
+    size:
+        Size on the wire in bytes; defaults to ``len(payload)`` but may be
+        set larger to account for UDP/IP framing overhead.
+    """
+
+    payload: bytes
+    size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size == 0:
+            self.size = len(self.payload)
+        if self.size < len(self.payload):
+            raise ValueError("declared size smaller than payload")
+
+
+@dataclass
+class LinkStats:
+    """Counters exposed by :class:`Link` for experiment reporting."""
+
+    admitted: int = 0
+    delivered: int = 0
+    random_losses: int = 0
+    buffer_losses: int = 0
+    bytes_delivered: int = 0
+    max_queue_bytes: int = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.random_losses + self.buffer_losses
+
+    @property
+    def loss_rate(self) -> float:
+        sent = self.admitted + self.dropped
+        return self.dropped / sent if sent else 0.0
+
+
+class Link:
+    """One-way link: ``send()`` on one side, ``on_deliver`` on the other.
+
+    Parameters
+    ----------
+    loop:
+        Event loop supplying the clock.
+    bandwidth_bps:
+        Bottleneck rate in bits per second.
+    propagation_delay:
+        One-way propagation latency in seconds.
+    buffer_bytes:
+        Drop-tail queue capacity.  The packet currently being serialised
+        does not count against the buffer, matching the usual
+        router-queue abstraction.
+    loss_rate:
+        Probability each admitted packet is dropped independently.
+    rng:
+        Source of randomness for loss decisions.
+    on_deliver:
+        Callback invoked as ``on_deliver(datagram)`` when a packet exits
+        the link.  May be (re)assigned after construction.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        bandwidth_bps: float,
+        propagation_delay: float,
+        buffer_bytes: int = 256 * 1024,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+        on_deliver: Optional[Callable[[Datagram], None]] = None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if propagation_delay < 0:
+            raise ValueError("propagation delay must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        self._loop = loop
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_delay = propagation_delay
+        self.buffer_bytes = buffer_bytes
+        self.loss_rate = loss_rate
+        self._rng = rng or random.Random(0)
+        self.on_deliver = on_deliver
+        self.stats = LinkStats()
+        self._queue: Deque[Datagram] = deque()
+        self._queue_bytes = 0
+        self._busy = False
+
+    @property
+    def queue_bytes(self) -> int:
+        """Bytes currently waiting in the drop-tail buffer."""
+        return self._queue_bytes
+
+    def send(self, datagram: Datagram) -> bool:
+        """Offer a packet to the link.
+
+        Returns ``True`` if the packet was admitted (it may still take a
+        while to be delivered) and ``False`` if it was lost to random loss
+        or buffer overflow.
+        """
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.stats.random_losses += 1
+            return False
+        if self._busy:
+            if self._queue_bytes + datagram.size > self.buffer_bytes:
+                self.stats.buffer_losses += 1
+                return False
+            self._queue.append(datagram)
+            self._queue_bytes += datagram.size
+            if self._queue_bytes > self.stats.max_queue_bytes:
+                self.stats.max_queue_bytes = self._queue_bytes
+        else:
+            self._begin_transmission(datagram)
+        self.stats.admitted += 1
+        return True
+
+    def _begin_transmission(self, datagram: Datagram) -> None:
+        self._busy = True
+        tx_time = datagram.size * 8.0 / self.bandwidth_bps
+        self._loop.call_later(tx_time, self._finish_transmission, datagram)
+
+    def _finish_transmission(self, datagram: Datagram) -> None:
+        self._loop.call_later(self.propagation_delay, self._deliver, datagram)
+        if self._queue:
+            next_datagram = self._queue.popleft()
+            self._queue_bytes -= next_datagram.size
+            self._begin_transmission(next_datagram)
+        else:
+            self._busy = False
+
+    def _deliver(self, datagram: Datagram) -> None:
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += datagram.size
+        if self.on_deliver is not None:
+            self.on_deliver(datagram)

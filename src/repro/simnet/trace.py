@@ -1,0 +1,74 @@
+"""Time-varying link condition schedules.
+
+A :class:`ConditionTrace` replays a piecewise-constant schedule of
+:class:`~repro.simnet.path.NetworkConditions` onto a
+:class:`~repro.simnet.path.Path`.  Experiments use traces to model
+bandwidth/RTT drift within a session (e.g. to study how stale Hx_QoS
+cookies degrade Wira(Hx), Fig 13(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.simnet.engine import EventLoop
+from repro.simnet.path import NetworkConditions, Path
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """Conditions taking effect at ``time`` (seconds from trace start)."""
+
+    time: float
+    conditions: NetworkConditions
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("trace point time must be non-negative")
+
+
+class ConditionTrace:
+    """Ordered schedule of condition changes.
+
+    The first point must be at time 0 so the path always has defined
+    conditions from the start of the trace.
+    """
+
+    def __init__(self, points: Sequence[TracePoint]) -> None:
+        if not points:
+            raise ValueError("trace needs at least one point")
+        ordered = sorted(points, key=lambda p: p.time)
+        if ordered[0].time != 0.0:
+            raise ValueError("first trace point must be at time 0")
+        self.points: List[TracePoint] = list(ordered)
+
+    @classmethod
+    def constant(cls, conditions: NetworkConditions) -> "ConditionTrace":
+        """A trace that never changes — the common testbed case."""
+        return cls([TracePoint(0.0, conditions)])
+
+    @property
+    def initial_conditions(self) -> NetworkConditions:
+        return self.points[0].conditions
+
+    def conditions_at(self, time: float) -> NetworkConditions:
+        """The conditions in force at ``time`` seconds from trace start."""
+        current = self.points[0].conditions
+        for point in self.points:
+            if point.time <= time:
+                current = point.conditions
+            else:
+                break
+        return current
+
+    def install(self, loop: EventLoop, path: Path) -> None:
+        """Schedule every change point onto ``loop`` against ``path``.
+
+        Change times are interpreted relative to ``loop.now`` at the time
+        of installation.
+        """
+        start = loop.now
+        path.update_conditions(self.points[0].conditions)
+        for point in self.points[1:]:
+            loop.call_at(start + point.time, path.update_conditions, point.conditions)

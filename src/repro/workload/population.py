@@ -1,0 +1,144 @@
+"""Deployment population: OD pairs, session chains, and their timing.
+
+The paper's evaluation observes a production proxy for six months; every
+connection contributes a sample.  The reproduction's equivalent is a
+:class:`Deployment`: a set of OD pairs, each with a chain of sessions at
+lognormal inter-session gaps.  Every session
+
+* is the *measurement* unit (FFCT/FFLR are recorded for all sessions,
+  including first-time viewers that have no cookie yet),
+* leaves behind the cookie the next session of the same OD pair echoes,
+* takes the 0-RTT path with probability ≈ 0.9 (§VI: 0-RTT "accounts for
+  ~90 %" of streams).
+
+Gaps beyond Δ = 60 minutes make the previous cookie stale (corner
+case 2); first sessions have none at all — both populations are what
+separates full Wira from Wira(Hx) in Fig 11.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.media.source import StreamProfile
+from repro.quic.connection import HandshakeMode
+from repro.simnet.path import NetworkConditions
+from repro.workload.network import NetworkModel, OdPairModel
+from repro.workload.streams import sample_stream_profile
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Everything needed to run one session under any scheme."""
+
+    od: OdPairModel
+    stream_profile: StreamProfile
+    conditions: NetworkConditions
+    handshake_mode: HandshakeMode
+    epoch: float  # wall-clock seconds at session start
+    gap_minutes: float  # time since this OD pair's previous session
+    session_index: int  # 0 = first ever session of the pair
+    seed: int
+
+    @property
+    def is_first_session(self) -> bool:
+        return self.session_index == 0
+
+
+@dataclass
+class DeploymentConfig:
+    """Size and mix of a simulated deployment."""
+
+    n_od_pairs: int = 150
+    mean_extra_sessions: float = 4.0  # sessions per OD = 1 + Geometric
+    max_sessions_per_od: int = 8
+    p_zero_rtt: float = 0.9
+    gap_minutes_median: float = 8.0
+    gap_minutes_sigma: float = 1.3
+    video_frames_per_session: int = 20
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_od_pairs < 1:
+            raise ValueError("need at least one OD pair")
+        if not 0.0 <= self.p_zero_rtt <= 1.0:
+            raise ValueError("p_zero_rtt must be a probability")
+
+
+class Deployment:
+    """Generates the session chains of one deployment."""
+
+    def __init__(self, config: DeploymentConfig) -> None:
+        self.config = config
+        self._rng = random.Random(f"deployment:{config.seed}")
+        self._network = NetworkModel(random.Random(f"network:{config.seed}"))
+
+    def generate(self) -> List[List[SessionSpec]]:
+        """Session chains, one inner list per OD pair, time-ordered."""
+        chains: List[List[SessionSpec]] = []
+        for od_index in range(self.config.n_od_pairs):
+            chains.append(self._generate_chain(od_index))
+        return chains
+
+    def sessions(self) -> List[SessionSpec]:
+        """All sessions flattened (chains stay internally ordered)."""
+        return [spec for chain in self.generate() for spec in chain]
+
+    def _generate_chain(self, od_index: int) -> List[SessionSpec]:
+        rng = random.Random(f"chain:{self.config.seed}:{od_index}")
+        od = self._network.sample_od_pair()
+        profile = sample_stream_profile(
+            rng,
+            stream_seed=od_index * 31 + 7,
+            viewer_bandwidth_bps=od.base_bandwidth_bps,
+        )
+        n_sessions = 1 + self._geometric(rng, self.config.mean_extra_sessions)
+        n_sessions = min(n_sessions, self.config.max_sessions_per_od)
+
+        specs: List[SessionSpec] = []
+        epoch = rng.uniform(0.0, 600.0)
+        gap_minutes = 0.0
+        for index in range(n_sessions):
+            if index > 0:
+                gap_minutes = rng.lognormvariate(
+                    _ln(self.config.gap_minutes_median), self.config.gap_minutes_sigma
+                )
+                epoch += gap_minutes * 60.0
+            conditions = od.conditions_at(rng, interval_minutes=max(gap_minutes, 5.0))
+            mode = (
+                HandshakeMode.ZERO_RTT
+                if rng.random() < self.config.p_zero_rtt
+                else HandshakeMode.ONE_RTT
+            )
+            specs.append(
+                SessionSpec(
+                    od=od,
+                    stream_profile=profile,
+                    conditions=conditions,
+                    handshake_mode=mode,
+                    epoch=epoch,
+                    gap_minutes=gap_minutes,
+                    session_index=index,
+                    seed=rng.getrandbits(48),
+                )
+            )
+        return specs
+
+    @staticmethod
+    def _geometric(rng: random.Random, mean: float) -> int:
+        """Geometric (k >= 0) with the given mean."""
+        if mean <= 0:
+            return 0
+        p = 1.0 / (1.0 + mean)
+        count = 0
+        while rng.random() > p and count < 50:
+            count += 1
+        return count
+
+
+def _ln(x: float) -> float:
+    import math
+
+    return math.log(x)

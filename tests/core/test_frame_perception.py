@@ -1,0 +1,177 @@
+"""Tests for Frame Perception (Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frame_perception import FrameParser, ParseStatus
+from repro.core.parser_backends import PtlType, UnknownProtocolError
+from repro.media import flv, rtmp, hls
+from repro.media.frames import MediaFrame, MediaFrameType
+from repro.media.source import LiveSource, StreamProfile
+
+
+def first_frame_bundle(sizes=(400, 372, 40_000)):
+    """script + audio + I, the paper's §IV-A running example prefix."""
+    script, audio, i_frame = sizes
+    return [
+        MediaFrame.synthetic(MediaFrameType.SCRIPT, 0, script),
+        MediaFrame.synthetic(MediaFrameType.AUDIO, 0, audio),
+        MediaFrame.synthetic(MediaFrameType.VIDEO_I, 0, i_frame),
+    ]
+
+
+def full_bundle():
+    """script, audio, I, P, B, B, B — the §IV-A example sequence."""
+    return first_frame_bundle() + [
+        MediaFrame.synthetic(MediaFrameType.VIDEO_P, 40, 6_000),
+        MediaFrame.synthetic(MediaFrameType.VIDEO_B, 80, 2_000),
+        MediaFrame.synthetic(MediaFrameType.VIDEO_B, 120, 2_100),
+        MediaFrame.synthetic(MediaFrameType.VIDEO_B, 160, 2_200),
+    ]
+
+
+class TestFlvParsing:
+    def test_detects_flv(self):
+        parser = FrameParser()
+        parser.feed(flv.mux(full_bundle()))
+        assert parser.protocol == PtlType.FLV
+
+    def test_ff_size_exact_byte_count_theta_1(self):
+        """FF_Size must equal the wire bytes through the first video tag."""
+        frames = full_bundle()
+        blob = flv.mux(frames)
+        parser = FrameParser(video_frame_threshold=1)
+        ff = parser.feed(blob)
+        expected = len(flv.mux(frames[:3]))  # header + script + audio + I
+        assert ff == expected
+
+    def test_theta_3_includes_p_and_first_b(self):
+        """§IV-A: with Θ_VF=3, FF adds S_P and S_B1."""
+        frames = full_bundle()
+        parser = FrameParser(video_frame_threshold=3)
+        ff = parser.feed(flv.mux(frames))
+        expected = len(flv.mux(frames[:5]))  # through P and first B
+        assert ff == expected
+
+    def test_script_and_audio_counted_into_ff(self):
+        small = FrameParser().feed(flv.mux(first_frame_bundle((100, 100, 40_000))))
+        large = FrameParser().feed(flv.mux(first_frame_bundle((2_000, 372, 40_000))))
+        assert large - small == 2_000 - 100 + 372 - 100
+
+    def test_incremental_feeding_matches_one_shot(self):
+        blob = flv.mux(full_bundle())
+        one_shot = FrameParser().feed(blob)
+        parser = FrameParser()
+        result = None
+        for i in range(0, len(blob), 997):
+            out = parser.feed(blob[i : i + 997])
+            if out is not None and result is None:
+                result = out
+        assert result == one_shot
+
+    def test_completion_is_sticky(self):
+        blob = flv.mux(full_bundle())
+        parser = FrameParser()
+        ff = parser.feed(blob)
+        assert parser.ff_complete
+        assert parser.feed(b"more bytes later") == ff
+
+    def test_no_result_before_first_video_frame(self):
+        blob = flv.mux(first_frame_bundle()[:2])  # script + audio only
+        parser = FrameParser()
+        assert parser.feed(blob) is None
+        assert parser.status == ParseStatus.PARSING
+        assert not parser.ff_complete
+
+    def test_breakdown_accounts_all_bytes(self):
+        frames = first_frame_bundle()
+        blob = flv.mux(frames)
+        parser = FrameParser()
+        ff = parser.feed(blob)
+        breakdown = parser.breakdown()
+        assert sum(breakdown.values()) == ff
+        assert breakdown["header"] == flv.FLV_HEADER_LEN + flv.PREVIOUS_TAG_SIZE_LEN
+        assert set(breakdown) == {"header", "script", "audio", "I"}
+
+
+class TestProtocolDispatch:
+    def test_rtmp_detected_and_parsed(self):
+        blob = rtmp.mux(full_bundle())
+        parser = FrameParser()
+        ff = parser.feed(blob)
+        assert parser.protocol == PtlType.RTMP
+        assert ff == len(rtmp.mux(full_bundle()[:3]))
+
+    def test_hls_detected_and_parsed(self):
+        blob = hls.mux(full_bundle())
+        parser = FrameParser()
+        ff = parser.feed(blob)
+        assert parser.protocol == PtlType.HLS
+        assert ff is not None
+        # TS overhead means FF covers at least the elementary sizes.
+        assert ff >= 400 + 372 + 40_000
+
+    def test_unknown_protocol_rejected(self):
+        parser = FrameParser()
+        with pytest.raises(UnknownProtocolError):
+            parser.feed(b"\x89PNG....")
+
+    def test_flv_like_but_wrong_signature_rejected(self):
+        parser = FrameParser()
+        with pytest.raises(UnknownProtocolError):
+            parser.feed(b"FLX\x01")
+
+    def test_detection_waits_for_enough_bytes(self):
+        parser = FrameParser()
+        assert parser.feed(b"F") is None
+        assert parser.status == ParseStatus.DETECTING
+        blob = flv.mux(full_bundle())
+        parser.feed(blob[1:])
+        assert parser.protocol == PtlType.FLV
+        assert parser.ff_complete
+
+
+class TestAgainstLiveSource:
+    def test_parsed_ff_tracks_source_ground_truth(self):
+        source = LiveSource(StreamProfile(seed=21))
+        gop = source.gop_at(10.0)
+        parser = FrameParser()
+        ff = parser.feed(flv.mux(gop.frames))
+        media_ff = gop.first_frame_bytes(1)
+        # Container overhead: header + ~15B per preceding tag + control bytes.
+        assert media_ff < ff < media_ff + 3_000
+
+    def test_parser_threshold_matches_playback_condition(self):
+        source = LiveSource(StreamProfile(seed=22))
+        gop = source.gop_at(0.0)
+        blob = flv.mux(gop.frames)
+        ff1 = FrameParser(1).feed(blob)
+        ff3 = FrameParser(3).feed(blob)
+        assert ff3 > ff1
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            FrameParser(video_frame_threshold=0)
+
+
+@settings(deadline=None)
+@given(
+    sizes=st.tuples(
+        st.integers(min_value=50, max_value=2_000),
+        st.integers(min_value=50, max_value=1_000),
+        st.integers(min_value=1_000, max_value=40_000),
+    ),
+    chunk=st.integers(min_value=1, max_value=4_096),
+)
+def test_byte_at_a_time_equals_one_shot_property(sizes, chunk):
+    """Property: chunk size never changes the parsed FF_Size."""
+    blob = flv.mux(first_frame_bundle(sizes))
+    expected = FrameParser().feed(blob)
+    parser = FrameParser()
+    got = None
+    for i in range(0, len(blob), chunk):
+        out = parser.feed(blob[i : i + chunk])
+        if out is not None and got is None:
+            got = out
+    assert got == expected == len(blob)

@@ -1,0 +1,100 @@
+"""Tests for the per-protocol parser backends."""
+
+import pytest
+
+from repro.core.parser_backends import (
+    FlvBackend,
+    HlsBackend,
+    PtlType,
+    RtmpBackend,
+    UnknownProtocolError,
+    detect_protocol,
+    make_backend,
+)
+from repro.media import flv, hls, rtmp
+from repro.media.frames import MediaFrame, MediaFrameType
+
+
+def frames():
+    return [
+        MediaFrame.synthetic(MediaFrameType.SCRIPT, 0, 300),
+        MediaFrame.synthetic(MediaFrameType.AUDIO, 0, 372),
+        MediaFrame.synthetic(MediaFrameType.VIDEO_I, 0, 20_000),
+        MediaFrame.synthetic(MediaFrameType.VIDEO_P, 40, 4_000),
+    ]
+
+
+class TestDetection:
+    def test_flv_detected(self):
+        assert detect_protocol(b"FLV\x01") == PtlType.FLV
+
+    def test_rtmp_detected(self):
+        assert detect_protocol(b"\x03...") == PtlType.RTMP
+
+    def test_hls_detected(self):
+        assert detect_protocol(b"\x47" + bytes(187)) == PtlType.HLS
+
+    def test_empty_prefix_needs_more(self):
+        assert detect_protocol(b"") is None
+
+    def test_partial_flv_signature_needs_more(self):
+        assert detect_protocol(b"F") is None
+        assert detect_protocol(b"FL") is None
+
+    def test_unknown_rejected(self):
+        with pytest.raises(UnknownProtocolError):
+            detect_protocol(b"\x89PNG")
+
+    def test_flv_lookalike_rejected(self):
+        with pytest.raises(UnknownProtocolError):
+            detect_protocol(b"FLAC")
+
+
+class TestBackendFactory:
+    @pytest.mark.parametrize(
+        "protocol,backend_cls",
+        [(PtlType.FLV, FlvBackend), (PtlType.RTMP, RtmpBackend), (PtlType.HLS, HlsBackend)],
+    )
+    def test_make_backend(self, protocol, backend_cls):
+        assert isinstance(make_backend(protocol), backend_cls)
+
+
+class TestWireAccounting:
+    def test_flv_units_sum_to_stream_length(self):
+        blob = flv.mux(frames())
+        backend = FlvBackend()
+        units = backend.feed(blob)
+        assert sum(u.wire_bytes for u in units) == len(blob)
+        kinds = [(u.kind, u.media_type) for u in units]
+        assert kinds[0] == ("header", None)
+        assert kinds[1] == ("frame", MediaFrameType.SCRIPT)
+
+    def test_rtmp_units_sum_to_stream_length(self):
+        blob = rtmp.mux(frames())
+        backend = RtmpBackend()
+        units = backend.feed(blob)
+        assert sum(u.wire_bytes for u in units) == len(blob)
+
+    def test_hls_units_are_packet_multiples(self):
+        blob = hls.mux(frames())
+        backend = HlsBackend()
+        units = backend.feed(blob)
+        assert units, "at least the leading frames complete"
+        for unit in units:
+            assert unit.wire_bytes % hls.TS_PACKET_SIZE == 0
+
+    def test_video_units_flagged(self):
+        backend = FlvBackend()
+        units = backend.feed(flv.mux(frames()))
+        video = [u for u in units if u.is_video]
+        assert len(video) == 2
+        assert video[0].media_type == MediaFrameType.VIDEO_I
+
+    def test_incremental_flv_accounting_matches_one_shot(self):
+        blob = flv.mux(frames())
+        one_shot = FlvBackend().feed(blob)
+        backend = FlvBackend()
+        chunked = []
+        for i in range(0, len(blob), 913):
+            chunked.extend(backend.feed(blob[i : i + 913]))
+        assert chunked == one_shot

@@ -1,0 +1,104 @@
+"""Tests for the AMF0 codec."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.media.amf import (
+    AmfError,
+    decode_on_metadata,
+    decode_value,
+    encode_on_metadata,
+    encode_value,
+)
+
+
+@pytest.mark.parametrize(
+    "value",
+    [0.0, 1.0, -3.5, 1e9, True, False, "hello", "", None, [1.0, "two", None]],
+)
+def test_scalar_round_trips(value):
+    decoded, offset = decode_value(encode_value(value))
+    assert decoded == value
+
+
+def test_int_decodes_as_float():
+    decoded, _ = decode_value(encode_value(42))
+    assert decoded == 42.0
+    assert isinstance(decoded, float)
+
+
+def test_dict_round_trips_as_ecma_array():
+    data = {"width": 1280.0, "stereo": True, "encoder": "x264"}
+    decoded, _ = decode_value(encode_value(data))
+    assert decoded == data
+
+
+def test_nested_structures():
+    data = {"list": [1.0, 2.0], "inner": {"a": "b"}}
+    decoded, _ = decode_value(encode_value(data))
+    assert decoded == data
+
+
+def test_number_marker_is_ieee_double():
+    encoded = encode_value(1.5)
+    assert encoded[0] == 0x00
+    assert len(encoded) == 9
+
+
+def test_string_length_prefix():
+    encoded = encode_value("abc")
+    assert encoded[:3] == b"\x02\x00\x03"
+
+
+def test_on_metadata_round_trip():
+    metadata = {"duration": 0.0, "width": 1920.0, "framerate": 30.0}
+    blob = encode_on_metadata(metadata)
+    assert decode_on_metadata(blob) == metadata
+
+
+def test_on_metadata_name_enforced():
+    blob = encode_value("notMetaData") + encode_value({})
+    with pytest.raises(AmfError):
+        decode_on_metadata(blob)
+
+
+def test_truncated_data_rejected():
+    blob = encode_value("hello")
+    with pytest.raises(AmfError):
+        decode_value(blob[:-2])
+
+
+def test_unsupported_python_type_rejected():
+    with pytest.raises(AmfError):
+        encode_value(object())
+
+
+def test_unsupported_marker_rejected():
+    with pytest.raises(AmfError):
+        decode_value(b"\x0b")
+
+
+def test_oversized_string_rejected():
+    with pytest.raises(AmfError):
+        encode_value("x" * 70_000)
+
+
+amf_values = st.recursive(
+    st.one_of(
+        st.floats(allow_nan=False, allow_infinity=False, width=32).map(float),
+        st.booleans(),
+        st.text(max_size=50),
+        st.none(),
+    ),
+    lambda children: st.dictionaries(st.text(max_size=20), children, max_size=5),
+    max_leaves=20,
+)
+
+
+@given(amf_values)
+def test_round_trip_property(value):
+    decoded, offset = decode_value(encode_value(value))
+    assert decoded == value

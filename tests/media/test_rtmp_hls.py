@@ -1,0 +1,102 @@
+"""Tests for the RTMP chunk-stream and MPEG-TS muxers."""
+
+import pytest
+
+from repro.media.frames import MediaFrame, MediaFrameType
+from repro.media.hls import TS_PACKET_SIZE, TS_SYNC_BYTE, TsDemuxer, mux as ts_mux
+from repro.media.rtmp import (
+    RTMP_VERSION_BYTE,
+    RtmpDemuxer,
+    RtmpError,
+    mux as rtmp_mux,
+)
+
+
+def sample_frames():
+    return [
+        MediaFrame.synthetic(MediaFrameType.SCRIPT, 0, 400),
+        MediaFrame.synthetic(MediaFrameType.AUDIO, 0, 372),
+        MediaFrame.synthetic(MediaFrameType.VIDEO_I, 0, 42_000),
+        MediaFrame.synthetic(MediaFrameType.VIDEO_P, 40, 6_000),
+        MediaFrame.synthetic(MediaFrameType.VIDEO_B, 80, 2_500),
+    ]
+
+
+class TestRtmp:
+    def test_round_trip_types_and_sizes(self):
+        blob = rtmp_mux(sample_frames())
+        messages = RtmpDemuxer().feed(blob)
+        assert [m.media_frame_type for m in messages] == [f.frame_type for f in sample_frames()]
+
+    def test_version_byte_leads_stream(self):
+        blob = rtmp_mux(sample_frames())
+        assert blob[0] == RTMP_VERSION_BYTE
+
+    def test_large_message_chunked_with_continuations(self):
+        frame = MediaFrame.synthetic(MediaFrameType.VIDEO_I, 0, 20_000)
+        blob = rtmp_mux([frame], chunk_size=4096)
+        messages = RtmpDemuxer(chunk_size=4096).feed(blob)
+        assert len(messages) == 1
+        assert len(messages[0].payload) == 20_001  # control byte + payload
+
+    def test_incremental_feeding(self):
+        blob = rtmp_mux(sample_frames())
+        demuxer = RtmpDemuxer()
+        messages = []
+        for i in range(0, len(blob), 777):
+            messages.extend(demuxer.feed(blob[i : i + 777]))
+        assert len(messages) == len(sample_frames())
+
+    def test_bad_version_byte_rejected(self):
+        with pytest.raises(RtmpError):
+            RtmpDemuxer().feed(b"\x09")
+
+    def test_timestamps_survive(self):
+        blob = rtmp_mux(sample_frames())
+        messages = RtmpDemuxer().feed(blob)
+        assert messages[3].timestamp_ms == 40
+
+
+class TestTs:
+    def test_packets_are_188_bytes_with_sync(self):
+        blob = ts_mux(sample_frames())
+        assert len(blob) % TS_PACKET_SIZE == 0
+        for i in range(0, len(blob), TS_PACKET_SIZE):
+            assert blob[i] == TS_SYNC_BYTE
+
+    def test_round_trip_types(self):
+        demuxer = TsDemuxer()
+        frames = demuxer.feed(ts_mux(sample_frames()))
+        frames.extend(demuxer.flush())
+        got = [f.media_frame_type for f in frames]
+        assert got == [f.frame_type for f in sample_frames()]
+
+    def test_payload_sizes_survive(self):
+        demuxer = TsDemuxer()
+        frames = demuxer.feed(ts_mux(sample_frames()))
+        frames.extend(demuxer.flush())
+        # Video/audio payloads carry a 1-byte control prefix.
+        assert len(frames[2].payload) == 42_001
+
+    def test_random_access_marks_keyframes(self):
+        demuxer = TsDemuxer()
+        frames = demuxer.feed(ts_mux(sample_frames()))
+        frames.extend(demuxer.flush())
+        by_type = {f.media_frame_type: f for f in frames}
+        assert by_type[MediaFrameType.VIDEO_I].random_access
+        assert not by_type[MediaFrameType.VIDEO_P].random_access
+
+    def test_pts_survives_90khz_conversion(self):
+        demuxer = TsDemuxer()
+        frames = demuxer.feed(ts_mux(sample_frames()))
+        frames.extend(demuxer.flush())
+        assert frames[3].pts_ms == 40
+
+    def test_incremental_feeding(self):
+        blob = ts_mux(sample_frames())
+        demuxer = TsDemuxer()
+        frames = []
+        for i in range(0, len(blob), 500):
+            frames.extend(demuxer.feed(blob[i : i + 500]))
+        frames.extend(demuxer.flush())
+        assert len(frames) == len(sample_frames())

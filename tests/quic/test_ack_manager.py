@@ -1,0 +1,91 @@
+"""Tests for receiver-side ACK generation."""
+
+import pytest
+
+from repro.quic.ack_manager import AckManager
+
+
+def test_no_ack_before_packets():
+    mgr = AckManager()
+    assert mgr.build_ack(0.0) is None
+    assert mgr.ack_deadline(0.0) is None
+
+
+def test_every_second_eliciting_packet_acks_immediately():
+    mgr = AckManager(ack_every=2)
+    mgr.on_packet_received(0, ack_eliciting=True, now=0.0)
+    assert not mgr.should_ack_now(0.0)
+    mgr.on_packet_received(1, ack_eliciting=True, now=0.001)
+    assert mgr.should_ack_now(0.001)
+
+
+def test_single_packet_acks_after_max_ack_delay():
+    mgr = AckManager(max_ack_delay=0.025)
+    mgr.on_packet_received(0, ack_eliciting=True, now=1.0)
+    assert mgr.ack_deadline(1.0) == pytest.approx(1.025)
+    assert not mgr.should_ack_now(1.01)
+    assert mgr.should_ack_now(1.025)
+
+
+def test_non_eliciting_packets_do_not_demand_acks():
+    mgr = AckManager()
+    mgr.on_packet_received(0, ack_eliciting=False, now=0.0)
+    assert mgr.ack_deadline(0.0) is None
+
+
+def test_build_ack_covers_contiguous_range():
+    mgr = AckManager()
+    for pn in range(5):
+        mgr.on_packet_received(pn, ack_eliciting=True, now=0.0)
+    ack = mgr.build_ack(0.0)
+    assert ack.largest_acked == 4
+    assert ack.ranges == ((0, 4),)
+
+
+def test_build_ack_with_gaps():
+    mgr = AckManager()
+    for pn in [0, 1, 4, 5, 9]:
+        mgr.on_packet_received(pn, ack_eliciting=True, now=0.0)
+    ack = mgr.build_ack(0.0)
+    assert ack.ranges == ((9, 9), (4, 5), (0, 1))
+
+
+def test_reordered_arrival_triggers_immediate_ack():
+    mgr = AckManager(ack_every=10)
+    mgr.on_packet_received(5, ack_eliciting=True, now=0.0)
+    mgr.build_ack(0.0)
+    mgr.on_packet_received(2, ack_eliciting=True, now=0.1)  # out of order
+    assert mgr.should_ack_now(0.1)
+
+
+def test_duplicate_detection():
+    mgr = AckManager()
+    assert not mgr.on_packet_received(3, ack_eliciting=True, now=0.0)
+    assert mgr.on_packet_received(3, ack_eliciting=True, now=0.1)
+
+
+def test_ack_delay_reflects_holding_time():
+    mgr = AckManager()
+    mgr.on_packet_received(0, ack_eliciting=True, now=1.0)
+    ack = mgr.build_ack(1.020)
+    assert ack.ack_delay_us == pytest.approx(20_000, abs=1)
+
+
+def test_build_ack_resets_pending_state():
+    mgr = AckManager(ack_every=2)
+    mgr.on_packet_received(0, ack_eliciting=True, now=0.0)
+    mgr.on_packet_received(1, ack_eliciting=True, now=0.0)
+    mgr.build_ack(0.0)
+    assert mgr.ack_deadline(0.0) is None
+
+
+def test_largest_received_tracked():
+    mgr = AckManager()
+    mgr.on_packet_received(7, ack_eliciting=False, now=0.0)
+    mgr.on_packet_received(3, ack_eliciting=False, now=0.0)
+    assert mgr.largest_received == 7
+
+
+def test_invalid_ack_every():
+    with pytest.raises(ValueError):
+        AckManager(ack_every=0)

@@ -1,0 +1,222 @@
+"""End-to-end connection tests over the simulated network."""
+
+import random
+
+import pytest
+
+from repro.quic import Connection, HandshakeMode, QuicConfig, Role
+from repro.quic.frames import HxQosFrame
+from repro.quic.handshake import TAG_HQST
+from repro.simnet.engine import EventLoop
+from repro.simnet.path import NetworkConditions, Path
+
+
+TESTBED = NetworkConditions(  # the paper's testbed (§II footnote 2)
+    bandwidth_bps=8_000_000.0,
+    rtt=0.050,
+    loss_rate=0.0,
+    buffer_bytes=25_000,
+)
+
+
+def make_pair(loop, conditions, mode=HandshakeMode.ZERO_RTT, tags=None, config=None, seed=0):
+    rng = random.Random(seed)
+    path = Path(loop, conditions, rng=random.Random(rng.getrandbits(32)))
+    config = config or QuicConfig(initial_rtt=0.05)
+    server = Connection(
+        loop, Role.SERVER, path.send_to_client, config,
+        rng=random.Random(rng.getrandbits(32)),
+    )
+    client = Connection(
+        loop, Role.CLIENT, path.send_to_server, config,
+        handshake_mode=mode, handshake_tags=tags,
+        rng=random.Random(rng.getrandbits(32)),
+    )
+    path.deliver_to_server = server.datagram_received
+    path.deliver_to_client = client.datagram_received
+    return path, server, client
+
+
+def run_transfer(conditions, mode, size=100_000, seed=0, loss_tags=None):
+    """Client requests; server responds with `size` known bytes."""
+    loop = EventLoop()
+    path, server, client = make_pair(loop, conditions, mode=mode, tags=loss_tags, seed=seed)
+    response = bytes(i % 251 for i in range(size))
+    received = bytearray()
+    done_at = []
+
+    def on_request(stream_id, data, fin):
+        if fin:
+            server.send_stream_data(stream_id, response, fin=True)
+
+    def on_response(stream_id, data, fin):
+        received.extend(data)
+        if fin and not done_at:
+            done_at.append(loop.now)
+
+    server.on_stream_data = on_request
+    client.on_stream_data = on_response
+    client.start()
+    client.send_stream_data(0, b"GET /live/stream.flv", fin=True)
+    loop.run(max_events=500_000)
+    return loop, server, client, bytes(received), done_at
+
+
+class TestZeroRtt:
+    def test_transfer_completes_intact(self):
+        loop, server, client, received, done = run_transfer(TESTBED, HandshakeMode.ZERO_RTT)
+        assert done, "transfer did not finish"
+        assert received == bytes(i % 251 for i in range(100_000))
+
+    def test_server_has_no_handshake_rtt_sample(self):
+        _, server, _, _, _ = run_transfer(TESTBED, HandshakeMode.ZERO_RTT)
+        assert server.stats.handshake_rtt_sample is None
+
+    def test_completion_time_reasonable(self):
+        # 100kB at 8Mbps is ~100ms on the wire, plus ~1.5 RTT of setup;
+        # BBR startup/drain dynamics add some slack.
+        _, _, _, _, done = run_transfer(TESTBED, HandshakeMode.ZERO_RTT)
+        assert 0.1 < done[0] < 1.0
+
+    def test_deterministic_across_runs(self):
+        _, _, _, _, done_a = run_transfer(TESTBED, HandshakeMode.ZERO_RTT, seed=5)
+        _, _, _, _, done_b = run_transfer(TESTBED, HandshakeMode.ZERO_RTT, seed=5)
+        assert done_a == done_b
+
+
+class TestOneRtt:
+    def test_transfer_completes_intact(self):
+        loop, server, client, received, done = run_transfer(TESTBED, HandshakeMode.ONE_RTT)
+        assert done
+        assert received == bytes(i % 251 for i in range(100_000))
+
+    def test_server_measures_handshake_rtt(self):
+        _, server, _, _, _ = run_transfer(TESTBED, HandshakeMode.ONE_RTT)
+        assert server.stats.handshake_rtt_sample == pytest.approx(0.05, rel=0.2)
+
+    def test_one_rtt_slower_than_zero_rtt(self):
+        _, _, _, _, done_0 = run_transfer(TESTBED, HandshakeMode.ZERO_RTT)
+        _, _, _, _, done_1 = run_transfer(TESTBED, HandshakeMode.ONE_RTT)
+        assert done_1[0] > done_0[0] + 0.04  # roughly one extra RTT
+
+
+class TestLossRecovery:
+    def test_transfer_survives_random_loss(self):
+        lossy = NetworkConditions(
+            bandwidth_bps=8_000_000.0, rtt=0.05, loss_rate=0.03, buffer_bytes=25_000
+        )
+        loop, server, client, received, done = run_transfer(lossy, HandshakeMode.ZERO_RTT, seed=11)
+        assert done
+        assert received == bytes(i % 251 for i in range(100_000))
+        assert server.stats.packets_lost > 0
+        assert server.stats.bytes_retransmitted > 0
+
+    def test_heavy_loss_still_completes(self):
+        lossy = NetworkConditions(
+            bandwidth_bps=8_000_000.0, rtt=0.05, loss_rate=0.15, buffer_bytes=50_000
+        )
+        _, server, _, received, done = run_transfer(lossy, HandshakeMode.ZERO_RTT, seed=3, size=30_000)
+        assert done
+        assert len(received) == 30_000
+
+    def test_buffer_overflow_losses_recovered(self):
+        tiny_buffer = NetworkConditions(
+            bandwidth_bps=2_000_000.0, rtt=0.05, loss_rate=0.0, buffer_bytes=8_000
+        )
+        _, server, _, received, done = run_transfer(
+            tiny_buffer, HandshakeMode.ZERO_RTT, seed=4, size=60_000
+        )
+        assert done
+        assert len(received) == 60_000
+
+
+class TestWiraHooks:
+    def test_server_can_initialize_window_and_rate_in_chlo_callback(self):
+        loop = EventLoop()
+        path, server, client = make_pair(loop, TESTBED)
+        seen = {}
+
+        def on_hello(tags, rtt_sample):
+            server.cc.set_initial_window(66_000)
+            server.cc.set_initial_pacing_rate(8e6)
+            seen["tags"] = tags
+
+        server.on_client_hello = on_hello
+        client.start()
+        loop.run(max_events=10_000)
+        assert server.cc.congestion_window == 66_000
+        assert server.cc.pacing_rate_bps == 8e6
+        assert "tags" in seen
+
+    def test_chlo_tags_reach_server(self):
+        loop = EventLoop()
+        path, server, client = make_pair(loop, TESTBED, tags={TAG_HQST: b"\x01blob"})
+        captured = {}
+        server.on_client_hello = lambda tags, rtt: captured.update(tags)
+        client.start()
+        loop.run(max_events=10_000)
+        assert captured[TAG_HQST] == b"\x01blob"
+
+    def test_hx_qos_frame_reaches_client(self):
+        loop = EventLoop()
+        path, server, client = make_pair(loop, TESTBED)
+        got = []
+        client.on_hx_qos = got.append
+        server.on_client_hello = lambda tags, rtt: server.send_hx_qos(
+            HxQosFrame.from_metrics(0.05, 8e6, loop.now)
+        )
+        client.start()
+        loop.run(max_events=10_000)
+        assert len(got) == 1
+        assert got[0].decoded_metrics()["max_bw_bps"] == 8e6
+
+    def test_initial_pacing_shapes_first_flight(self):
+        """A very low initial pacing rate visibly delays completion."""
+
+        def run_with_rate(rate):
+            loop = EventLoop()
+            path, server, client = make_pair(loop, TESTBED, seed=2)
+            done = []
+
+            def on_request(stream_id, data, fin):
+                if fin:
+                    server.cc.set_initial_window(66_000)
+                    server.cc.set_initial_pacing_rate(rate)
+                    server.send_stream_data(stream_id, b"x" * 66_000, fin=True)
+
+            server.on_stream_data = on_request
+            client.on_stream_data = (
+                lambda sid, d, fin: done.append(loop.now) if fin and not done else None
+            )
+            client.start()
+            client.send_stream_data(0, b"GET", fin=True)
+            loop.run(max_events=200_000)
+            return done[0]
+
+        slow = run_with_rate(0.8e6)  # Fig 2(b): 0.8 Mbps is far too slow
+        matched = run_with_rate(8e6)  # matches MaxBW
+        assert slow > matched * 1.5
+
+
+class TestConnectionHygiene:
+    def test_server_measures_qos_metrics(self):
+        _, server, _, _, _ = run_transfer(TESTBED, HandshakeMode.ZERO_RTT)
+        assert server.measured_min_rtt() == pytest.approx(0.05, rel=0.3)
+        assert server.measured_max_bw() is not None
+        assert 1e6 < server.measured_max_bw() < 20e6
+
+    def test_close_stops_timers(self):
+        loop = EventLoop()
+        path, server, client = make_pair(loop, TESTBED)
+        client.start()
+        loop.run(max_events=100)
+        client.close()
+        server.close()
+        loop.run()  # must drain without new activity
+
+    def test_stats_counters_consistent(self):
+        _, server, client, _, _ = run_transfer(TESTBED, HandshakeMode.ZERO_RTT)
+        assert server.stats.packets_sent > 0
+        assert client.stats.packets_received > 0
+        assert server.stats.data_packets_sent >= 80  # 100kB / ~1.2kB
+        assert server.stats.data_loss_rate() == 0.0

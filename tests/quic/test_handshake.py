@@ -1,0 +1,74 @@
+"""Tests for the tag-encoded handshake messages."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quic.handshake import (
+    HandshakeMessage,
+    HandshakeMessageType,
+    HandshakeParseError,
+    TAG_FULL,
+    TAG_HQST,
+    chlo,
+    rej,
+    shlo,
+)
+
+
+def test_chlo_round_trip_with_tags():
+    message = chlo(full=True, extra_tags={TAG_HQST: b"\x01cookie"})
+    decoded = HandshakeMessage.decode(message.encode())
+    assert decoded.message_type == HandshakeMessageType.CHLO
+    assert decoded.tags[TAG_HQST] == b"\x01cookie"
+    assert decoded.is_full_hello
+
+
+def test_inchoate_chlo_not_full():
+    message = chlo(full=False, extra_tags={})
+    decoded = HandshakeMessage.decode(message.encode())
+    assert not decoded.is_full_hello
+
+
+def test_rej_and_shlo_round_trip():
+    assert HandshakeMessage.decode(rej().encode()).message_type == HandshakeMessageType.REJ
+    assert HandshakeMessage.decode(shlo().encode()).message_type == HandshakeMessageType.SHLO
+
+
+def test_tag_names_must_be_four_bytes():
+    message = HandshakeMessage(HandshakeMessageType.CHLO, {b"AB": b"x"})
+    with pytest.raises(ValueError):
+        message.encode()
+
+
+def test_empty_message_rejected():
+    with pytest.raises(HandshakeParseError):
+        HandshakeMessage.decode(b"")
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(HandshakeParseError):
+        HandshakeMessage.decode(b"\x7f\x00")
+
+
+def test_truncated_tag_rejected():
+    blob = chlo(full=True, extra_tags={TAG_HQST: b"longvalue"}).encode()
+    with pytest.raises(HandshakeParseError):
+        HandshakeMessage.decode(blob[:-4])
+
+
+def test_full_flag_encoded_in_tag():
+    message = chlo(full=True, extra_tags={})
+    assert message.tags[TAG_FULL] == b"\x01"
+
+
+@given(
+    st.dictionaries(
+        st.binary(min_size=4, max_size=4),
+        st.binary(max_size=128),
+        max_size=8,
+    )
+)
+def test_tag_round_trip_property(tags):
+    message = HandshakeMessage(HandshakeMessageType.CHLO, tags)
+    assert HandshakeMessage.decode(message.encode()).tags == tags

@@ -1,0 +1,157 @@
+"""Tests for sender-side loss detection."""
+
+import pytest
+
+from repro.quic.frames import AckFrame
+from repro.quic.loss_recovery import K_PACKET_THRESHOLD, LossRecovery
+from repro.quic.rtt import RttEstimator
+from repro.quic.sent_packet import SentPacket
+
+
+def sent(pn, t=0.0, size=1200, eliciting=True, in_flight=True):
+    return SentPacket(
+        packet_number=pn,
+        sent_time=t,
+        size=size,
+        ack_eliciting=eliciting,
+        in_flight=in_flight,
+    )
+
+
+def ack(largest, ranges=None, delay_us=0):
+    return AckFrame(largest, delay_us, tuple(ranges or [(0, largest)]))
+
+
+def make_recovery():
+    return LossRecovery(RttEstimator(initial_rtt=0.1))
+
+
+def test_bytes_in_flight_accounting():
+    lr = make_recovery()
+    lr.on_packet_sent(sent(0, size=1000))
+    lr.on_packet_sent(sent(1, size=500))
+    assert lr.bytes_in_flight == 1500
+    lr.on_ack_received(ack(0, [(0, 0)]), now=0.1)
+    assert lr.bytes_in_flight == 500
+
+
+def test_ack_only_packets_do_not_count_in_flight():
+    lr = make_recovery()
+    lr.on_packet_sent(sent(0, in_flight=False, eliciting=False))
+    assert lr.bytes_in_flight == 0
+
+
+def test_rtt_sample_from_largest_newly_acked():
+    lr = make_recovery()
+    lr.on_packet_sent(sent(0, t=1.0))
+    result = lr.on_ack_received(ack(0, [(0, 0)]), now=1.05)
+    assert result.rtt_sample == pytest.approx(0.05)
+    assert lr.rtt.latest_rtt == pytest.approx(0.05)
+
+
+def test_no_rtt_sample_from_duplicate_ack():
+    lr = make_recovery()
+    lr.on_packet_sent(sent(0, t=0.0))
+    lr.on_ack_received(ack(0, [(0, 0)]), now=0.05)
+    result = lr.on_ack_received(ack(0, [(0, 0)]), now=0.2)
+    assert result.rtt_sample is None
+    assert not result.newly_acked
+
+
+def test_packet_threshold_loss():
+    lr = make_recovery()
+    for pn in range(5):
+        lr.on_packet_sent(sent(pn, t=pn * 0.001))
+    # Ack 3 and 4; packets 0 and 1 are >= 3 behind largest acked.
+    result = lr.on_ack_received(ack(4, [(3, 4)]), now=0.1)
+    lost_pns = {p.packet_number for p in result.newly_lost}
+    assert lost_pns == {0, 1}
+    assert all(p.lost for p in result.newly_lost)
+
+
+def test_time_threshold_loss():
+    lr = make_recovery()
+    lr.on_packet_sent(sent(0, t=0.530))
+    lr.on_packet_sent(sent(1, t=0.535))
+    result = lr.on_ack_received(ack(1, [(1, 1)]), now=0.585)  # RTT=0.05
+    # Packet 0 is only 1 behind and not yet past the time threshold...
+    assert not result.newly_lost
+    assert lr.loss_time is not None
+    # ...but once the loss timer fires, it is declared lost.
+    lost = lr.check_loss_timer(now=lr.loss_time + 1e-9)
+    assert [p.packet_number for p in lost] == [0]
+
+
+def test_loss_time_armed_for_pending_packet():
+    lr = make_recovery()
+    lr.on_packet_sent(sent(0, t=0.0))
+    lr.on_packet_sent(sent(1, t=0.001))
+    lr.on_ack_received(ack(1, [(1, 1)]), now=0.05)
+    assert lr.loss_time is not None
+    assert lr.loss_time == pytest.approx(0.0 + lr.rtt.loss_delay())
+
+
+def test_lost_bytes_removed_from_flight():
+    lr = make_recovery()
+    for pn in range(5):
+        lr.on_packet_sent(sent(pn, size=1000))
+    lr.on_ack_received(ack(4, [(4, 4)]), now=0.1)
+    # 1 acked + 2 lost by threshold (0 and 1) leaves packets 2, 3.
+    assert lr.bytes_in_flight == 2000
+
+
+def test_pto_deadline_tracks_last_eliciting_send():
+    lr = make_recovery()
+    lr.on_packet_sent(sent(0, t=1.0))
+    deadline = lr.pto_deadline()
+    assert deadline == pytest.approx(1.0 + lr.rtt.pto(lr.max_ack_delay))
+
+
+def test_pto_backoff_doubles():
+    lr = make_recovery()
+    lr.on_packet_sent(sent(0, t=0.0))
+    first = lr.pto_deadline()
+    lr.on_pto_fired(now=first)
+    second = lr.pto_deadline()
+    assert second - 0.0 == pytest.approx(2 * (first - 0.0))
+
+
+def test_pto_resets_after_ack():
+    lr = make_recovery()
+    lr.on_packet_sent(sent(0, t=0.0))
+    lr.on_pto_fired(now=0.3)
+    assert lr.pto_count == 1
+    lr.on_packet_sent(sent(1, t=0.35))
+    lr.on_ack_received(ack(1, [(1, 1)]), now=0.4)
+    assert lr.pto_count == 0
+
+
+def test_pto_returns_oldest_unresolved():
+    lr = make_recovery()
+    for pn in range(4):
+        lr.on_packet_sent(sent(pn, t=pn * 0.01))
+    probes = lr.on_pto_fired(now=1.0)
+    assert [p.packet_number for p in probes] == [0, 1]
+
+
+def test_no_pto_when_nothing_eliciting():
+    lr = make_recovery()
+    lr.on_packet_sent(sent(0, eliciting=False, in_flight=False))
+    assert lr.pto_deadline() is None
+
+
+def test_ack_of_unknown_packet_ignored():
+    lr = make_recovery()
+    lr.on_packet_sent(sent(0))
+    result = lr.on_ack_received(ack(9, [(9, 9)]), now=0.1)
+    assert not result.newly_acked
+
+
+def test_non_in_flight_packets_never_reported_lost():
+    lr = make_recovery()
+    lr.on_packet_sent(sent(0, eliciting=False, in_flight=False))
+    for pn in range(1, 6):
+        lr.on_packet_sent(sent(pn, t=pn * 0.001))
+    result = lr.on_ack_received(ack(5, [(4, 5)]), now=0.1)
+    lost_pns = {p.packet_number for p in result.newly_lost}
+    assert 0 not in lost_pns

@@ -1,0 +1,68 @@
+"""Tests for the token-bucket pacer."""
+
+import pytest
+
+from repro.quic.pacer import Pacer
+
+
+def test_burst_goes_immediately():
+    pacer = Pacer(rate_bps=8_000.0, burst_bytes=3_000)
+    assert pacer.time_until_send(3_000, now=0.0) == 0.0
+
+
+def test_rate_limits_after_burst():
+    pacer = Pacer(rate_bps=8_000.0, burst_bytes=1_000)  # 1000 B/s
+    pacer.on_packet_sent(1_000, now=0.0)
+    # Bucket empty; next 500B packet needs 0.5s of credit.
+    assert pacer.time_until_send(500, now=0.0) == pytest.approx(0.5)
+
+
+def test_tokens_refill_over_time():
+    pacer = Pacer(rate_bps=8_000.0, burst_bytes=1_000)
+    pacer.on_packet_sent(1_000, now=0.0)
+    assert pacer.time_until_send(500, now=0.5) == 0.0
+
+
+def test_tokens_capped_at_burst():
+    pacer = Pacer(rate_bps=8_000_000.0, burst_bytes=1_000)
+    # After a long idle period only `burst` tokens are available.
+    assert pacer.time_until_send(1_000, now=100.0) == 0.0
+    pacer.on_packet_sent(1_000, now=100.0)
+    pacer.on_packet_sent(1_000, now=100.0)
+    assert pacer.time_until_send(1_000, now=100.0) > 0.0
+
+
+def test_negative_token_debt_delays_subsequent_sends():
+    pacer = Pacer(rate_bps=8_000.0, burst_bytes=1_000)
+    pacer.on_packet_sent(2_000, now=0.0)  # 1000B of debt
+    assert pacer.time_until_send(500, now=0.0) == pytest.approx(1.5)
+
+
+def test_set_rate_changes_drain_speed():
+    pacer = Pacer(rate_bps=8_000.0, burst_bytes=1_000)
+    pacer.on_packet_sent(1_000, now=0.0)
+    pacer.set_rate(80_000.0, now=0.0)  # 10 kB/s
+    assert pacer.time_until_send(500, now=0.0) == pytest.approx(0.05)
+
+
+def test_pacing_spreads_packets_at_rate():
+    """Sending N packets should take ~(N·size·8/rate) seconds."""
+    pacer = Pacer(rate_bps=1_000_000.0, burst_bytes=1_252)
+    now = 0.0
+    for _ in range(50):
+        wait = pacer.time_until_send(1_252, now)
+        now += wait
+        pacer.on_packet_sent(1_252, now)
+    # 50 packets minus the 1-packet burst, at 1Mbps.
+    expected = 49 * 1_252 * 8 / 1_000_000.0
+    assert now == pytest.approx(expected, rel=0.05)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        Pacer(rate_bps=0.0)
+    with pytest.raises(ValueError):
+        Pacer(rate_bps=1.0, burst_bytes=0)
+    pacer = Pacer(rate_bps=1.0)
+    with pytest.raises(ValueError):
+        pacer.set_rate(0.0, now=0.0)

@@ -1,0 +1,91 @@
+"""Tests for RFC 9000 varint encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quic.varint import (
+    MAX_VARINT,
+    VarintError,
+    decode_varint,
+    encode_varint,
+    varint_size,
+)
+
+
+# RFC 9000 Appendix A.1 worked examples.
+RFC_VECTORS = [
+    (37, b"\x25"),
+    (15293, b"\x7b\xbd"),
+    (494878333, b"\x9d\x7f\x3e\x7d"),
+    (151288809941952652, b"\xc2\x19\x7c\x5e\xff\x14\xe8\x8c"),
+]
+
+
+@pytest.mark.parametrize("value,encoded", RFC_VECTORS)
+def test_rfc9000_vectors_encode(value, encoded):
+    assert encode_varint(value) == encoded
+
+
+@pytest.mark.parametrize("value,encoded", RFC_VECTORS)
+def test_rfc9000_vectors_decode(value, encoded):
+    assert decode_varint(encoded) == (value, len(encoded))
+
+
+@pytest.mark.parametrize(
+    "value,size",
+    [(0, 1), (63, 1), (64, 2), (16383, 2), (16384, 4), ((1 << 30) - 1, 4), (1 << 30, 8)],
+)
+def test_size_boundaries(value, size):
+    assert varint_size(value) == size
+    assert len(encode_varint(value)) == size
+
+
+def test_negative_rejected():
+    with pytest.raises(VarintError):
+        encode_varint(-1)
+
+
+def test_too_large_rejected():
+    with pytest.raises(VarintError):
+        encode_varint(MAX_VARINT + 1)
+
+
+def test_max_value_round_trips():
+    assert decode_varint(encode_varint(MAX_VARINT))[0] == MAX_VARINT
+
+
+def test_decode_with_offset():
+    data = b"\xff\xff" + encode_varint(300)
+    value, next_offset = decode_varint(data, 2)
+    assert value == 300
+    assert next_offset == len(data)
+
+
+def test_decode_empty_buffer():
+    with pytest.raises(VarintError):
+        decode_varint(b"")
+
+
+def test_decode_truncated_varint():
+    with pytest.raises(VarintError):
+        decode_varint(b"\x7b")  # 2-byte prefix but only 1 byte present
+
+
+@given(st.integers(min_value=0, max_value=MAX_VARINT))
+def test_round_trip_property(value):
+    encoded = encode_varint(value)
+    decoded, offset = decode_varint(encoded)
+    assert decoded == value
+    assert offset == len(encoded)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=MAX_VARINT), min_size=1, max_size=20))
+def test_concatenated_varints_parse_in_sequence(values):
+    blob = b"".join(encode_varint(v) for v in values)
+    offset = 0
+    decoded = []
+    while offset < len(blob):
+        value, offset = decode_varint(blob, offset)
+        decoded.append(value)
+    assert decoded == values

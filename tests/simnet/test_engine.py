@@ -1,0 +1,136 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simnet.engine import EventLoop, SimulationError
+
+
+def test_clock_starts_at_zero():
+    loop = EventLoop()
+    assert loop.now == 0.0
+
+
+def test_clock_custom_start():
+    loop = EventLoop(start_time=10.0)
+    assert loop.now == 10.0
+
+
+def test_call_later_advances_clock():
+    loop = EventLoop()
+    fired = []
+    loop.call_later(1.5, fired.append, "a")
+    loop.run()
+    assert fired == ["a"]
+    assert loop.now == 1.5
+
+
+def test_events_run_in_time_order():
+    loop = EventLoop()
+    order = []
+    loop.call_later(2.0, order.append, "late")
+    loop.call_later(1.0, order.append, "early")
+    loop.call_later(3.0, order.append, "latest")
+    loop.run()
+    assert order == ["early", "late", "latest"]
+
+
+def test_simultaneous_events_run_in_schedule_order():
+    loop = EventLoop()
+    order = []
+    for name in "abcde":
+        loop.call_later(1.0, order.append, name)
+    loop.run()
+    assert order == list("abcde")
+
+
+def test_cancelled_event_does_not_fire():
+    loop = EventLoop()
+    fired = []
+    event = loop.call_later(1.0, fired.append, "x")
+    event.cancel()
+    loop.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    loop = EventLoop()
+    event = loop.call_later(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    loop.run()
+
+
+def test_cannot_schedule_in_the_past():
+    loop = EventLoop(start_time=5.0)
+    with pytest.raises(SimulationError):
+        loop.call_at(4.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    loop = EventLoop()
+    with pytest.raises(SimulationError):
+        loop.call_later(-0.1, lambda: None)
+
+
+def test_run_until_stops_at_deadline():
+    loop = EventLoop()
+    fired = []
+    loop.call_later(1.0, fired.append, "a")
+    loop.call_later(5.0, fired.append, "b")
+    loop.run_until(2.0)
+    assert fired == ["a"]
+    assert loop.now == 2.0
+    loop.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_advances_clock_even_without_events():
+    loop = EventLoop()
+    loop.run_until(7.0)
+    assert loop.now == 7.0
+
+
+def test_events_can_schedule_events():
+    loop = EventLoop()
+    times = []
+
+    def chain(n):
+        times.append(loop.now)
+        if n > 0:
+            loop.call_later(1.0, chain, n - 1)
+
+    loop.call_later(0.0, chain, 3)
+    loop.run()
+    assert times == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_max_events_limit():
+    loop = EventLoop()
+    fired = []
+    for i in range(10):
+        loop.call_later(float(i), fired.append, i)
+    executed = loop.run(max_events=4)
+    assert executed == 4
+    assert fired == [0, 1, 2, 3]
+
+
+def test_pending_and_processed_counters():
+    loop = EventLoop()
+    keep = loop.call_later(1.0, lambda: None)
+    drop = loop.call_later(2.0, lambda: None)
+    drop.cancel()
+    assert loop.pending_events == 1
+    loop.run()
+    assert loop.processed_events == 1
+    assert keep.cancelled is False
+
+
+def test_loop_not_reentrant():
+    loop = EventLoop()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            loop.run()
+
+    loop.call_later(0.0, reenter)
+    loop.run()

@@ -1,0 +1,134 @@
+"""Tests for the rate/delay/buffer/loss link model."""
+
+import random
+
+import pytest
+
+from repro.simnet.engine import EventLoop
+from repro.simnet.link import Datagram, Link
+
+
+def make_link(loop, **kwargs):
+    delivered = []
+    defaults = dict(
+        bandwidth_bps=8_000_000.0,
+        propagation_delay=0.025,
+        buffer_bytes=25_000,
+        loss_rate=0.0,
+        rng=random.Random(1),
+    )
+    defaults.update(kwargs)
+    link = Link(loop, on_deliver=delivered.append, **defaults)
+    return link, delivered
+
+
+def test_datagram_size_defaults_to_payload_length():
+    d = Datagram(b"hello")
+    assert d.size == 5
+
+
+def test_datagram_size_can_include_framing_overhead():
+    d = Datagram(b"hello", size=33)
+    assert d.size == 33
+
+
+def test_datagram_size_cannot_undercount():
+    with pytest.raises(ValueError):
+        Datagram(b"hello", size=2)
+
+
+def test_single_packet_latency_is_serialization_plus_propagation():
+    loop = EventLoop()
+    link, delivered = make_link(loop, bandwidth_bps=8_000.0, propagation_delay=0.1)
+    link.send(Datagram(b"x" * 100))  # 100B at 8kbps -> 0.1s serialisation
+    loop.run()
+    assert delivered and loop.now == pytest.approx(0.2)
+
+
+def test_fifo_delivery_order():
+    loop = EventLoop()
+    link, delivered = make_link(loop)
+    for i in range(5):
+        link.send(Datagram(bytes([i]) * 100))
+    loop.run()
+    assert [d.payload[0] for d in delivered] == [0, 1, 2, 3, 4]
+
+
+def test_back_to_back_packets_serialize_sequentially():
+    loop = EventLoop()
+    link, delivered = make_link(loop, bandwidth_bps=8_000.0, propagation_delay=0.0)
+    link.send(Datagram(b"a" * 100))
+    link.send(Datagram(b"b" * 100))
+    times = []
+    link.on_deliver = lambda d: times.append(loop.now)
+    loop.run()
+    assert times == [pytest.approx(0.1), pytest.approx(0.2)]
+
+
+def test_buffer_overflow_drops_tail():
+    loop = EventLoop()
+    link, delivered = make_link(loop, buffer_bytes=1_000)
+    # First packet starts serialising immediately (not buffered); next
+    # 1000B fit in the buffer exactly; anything further is dropped.
+    assert link.send(Datagram(b"x" * 500))
+    assert link.send(Datagram(b"y" * 1_000))
+    assert not link.send(Datagram(b"z" * 10))
+    assert link.stats.buffer_losses == 1
+    loop.run()
+    assert len(delivered) == 2
+
+
+def test_random_loss_statistics():
+    loop = EventLoop()
+    link, delivered = make_link(loop, loss_rate=0.3, rng=random.Random(42), buffer_bytes=10**9)
+    n = 5_000
+    for _ in range(n):
+        link.send(Datagram(b"p" * 100))
+    loop.run()
+    observed = link.stats.random_losses / n
+    assert 0.27 < observed < 0.33
+    assert len(delivered) == n - link.stats.random_losses
+
+
+def test_loss_is_deterministic_given_seed():
+    def run(seed):
+        loop = EventLoop()
+        link, delivered = make_link(loop, loss_rate=0.5, rng=random.Random(seed), buffer_bytes=10**9)
+        outcomes = [link.send(Datagram(b"p" * 100)) for _ in range(100)]
+        loop.run()
+        return outcomes
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_queue_drains_after_busy_period():
+    loop = EventLoop()
+    link, delivered = make_link(loop, bandwidth_bps=80_000.0, propagation_delay=0.0)
+    for _ in range(10):
+        link.send(Datagram(b"x" * 1_000))  # each takes 0.1s
+    loop.run()
+    assert len(delivered) == 10
+    assert loop.now == pytest.approx(1.0)
+    assert link.queue_bytes == 0
+
+
+def test_stats_track_bytes_and_max_queue():
+    loop = EventLoop()
+    link, _ = make_link(loop, buffer_bytes=10_000)
+    for _ in range(5):
+        link.send(Datagram(b"x" * 1_000))
+    assert link.stats.max_queue_bytes == 4_000  # first packet went straight to the wire
+    loop.run()
+    assert link.stats.bytes_delivered == 5_000
+    assert link.stats.loss_rate == 0.0
+
+
+def test_invalid_parameters_rejected():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        Link(loop, bandwidth_bps=0, propagation_delay=0.0)
+    with pytest.raises(ValueError):
+        Link(loop, bandwidth_bps=1.0, propagation_delay=-1.0)
+    with pytest.raises(ValueError):
+        Link(loop, bandwidth_bps=1.0, propagation_delay=0.0, loss_rate=1.5)

@@ -1,0 +1,87 @@
+"""Tests for the duplex path abstraction."""
+
+import random
+
+import pytest
+
+from repro.simnet.engine import EventLoop
+from repro.simnet.link import Datagram
+from repro.simnet.path import NetworkConditions, Path
+
+
+def make_path(loop, **kwargs):
+    defaults = dict(bandwidth_bps=8_000_000.0, rtt=0.05, loss_rate=0.0, buffer_bytes=25_000)
+    defaults.update(kwargs)
+    return Path(loop, NetworkConditions(**defaults), rng=random.Random(3))
+
+
+def test_conditions_validate():
+    with pytest.raises(ValueError):
+        NetworkConditions(bandwidth_bps=0, rtt=0.05)
+    with pytest.raises(ValueError):
+        NetworkConditions(bandwidth_bps=1e6, rtt=-1)
+
+
+def test_bdp_computation():
+    cond = NetworkConditions(bandwidth_bps=8_000_000.0, rtt=0.05)
+    assert cond.bdp_bytes == 50_000
+
+
+def test_one_way_delay_is_half_rtt():
+    cond = NetworkConditions(bandwidth_bps=1e6, rtt=0.1)
+    assert cond.one_way_delay == pytest.approx(0.05)
+
+
+def test_scaled_returns_modified_copy():
+    cond = NetworkConditions(bandwidth_bps=1e6, rtt=0.1)
+    drifted = cond.scaled(bandwidth_factor=2.0, rtt_factor=0.5)
+    assert drifted.bandwidth_bps == 2e6
+    assert drifted.rtt == pytest.approx(0.05)
+    assert cond.bandwidth_bps == 1e6  # original untouched
+
+
+def test_round_trip_takes_one_rtt():
+    loop = EventLoop()
+    path = make_path(loop, rtt=0.1, bandwidth_bps=1e9)
+    arrived = []
+    path.deliver_to_client = lambda d: path.send_to_server(Datagram(b"ack"))
+    path.deliver_to_server = lambda d: arrived.append(loop.now)
+    path.send_to_client(Datagram(b"data"))
+    loop.run()
+    assert arrived and arrived[0] == pytest.approx(0.1, rel=0.01)
+
+
+def test_directions_are_independent():
+    loop = EventLoop()
+    path = make_path(loop)
+    to_client, to_server = [], []
+    path.deliver_to_client = to_client.append
+    path.deliver_to_server = to_server.append
+    path.send_to_client(Datagram(b"down"))
+    path.send_to_server(Datagram(b"up"))
+    loop.run()
+    assert [d.payload for d in to_client] == [b"down"]
+    assert [d.payload for d in to_server] == [b"up"]
+
+
+def test_asymmetric_reverse_bandwidth():
+    loop = EventLoop()
+    path = make_path(loop, reverse_bandwidth_bps=8_000.0, rtt=0.0)
+    times = []
+    path.deliver_to_server = lambda d: times.append(loop.now)
+    path.send_to_server(Datagram(b"x" * 100))  # 100B at 8kbps = 0.1s
+    loop.run()
+    assert times[0] == pytest.approx(0.1)
+
+
+def test_update_conditions_applies_to_new_packets():
+    loop = EventLoop()
+    path = make_path(loop, bandwidth_bps=8_000.0, rtt=0.0)
+    times = []
+    path.deliver_to_client = lambda d: times.append(loop.now)
+    path.send_to_client(Datagram(b"x" * 100))  # 0.1s at 8kbps
+    loop.run()
+    path.update_conditions(NetworkConditions(bandwidth_bps=80_000.0, rtt=0.0))
+    path.send_to_client(Datagram(b"x" * 100))  # 0.01s at 80kbps
+    loop.run()
+    assert times[1] - times[0] == pytest.approx(0.01)

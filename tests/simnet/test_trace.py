@@ -1,0 +1,89 @@
+"""Tests for time-varying condition traces."""
+
+import random
+
+import pytest
+
+from repro.simnet.engine import EventLoop
+from repro.simnet.link import Datagram
+from repro.simnet.path import NetworkConditions, Path
+from repro.simnet.trace import ConditionTrace, TracePoint
+
+
+COND_A = NetworkConditions(bandwidth_bps=1e6, rtt=0.05)
+COND_B = NetworkConditions(bandwidth_bps=2e6, rtt=0.10)
+
+
+def test_trace_requires_points():
+    with pytest.raises(ValueError):
+        ConditionTrace([])
+
+
+def test_trace_must_start_at_zero():
+    with pytest.raises(ValueError):
+        ConditionTrace([TracePoint(1.0, COND_A)])
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        TracePoint(-1.0, COND_A)
+
+
+def test_constant_trace():
+    trace = ConditionTrace.constant(COND_A)
+    assert trace.initial_conditions == COND_A
+    assert trace.conditions_at(100.0) == COND_A
+
+
+def test_conditions_at_piecewise_lookup():
+    trace = ConditionTrace([TracePoint(0.0, COND_A), TracePoint(10.0, COND_B)])
+    assert trace.conditions_at(0.0) == COND_A
+    assert trace.conditions_at(9.999) == COND_A
+    assert trace.conditions_at(10.0) == COND_B
+    assert trace.conditions_at(50.0) == COND_B
+
+
+def test_points_sorted_on_construction():
+    trace = ConditionTrace([TracePoint(10.0, COND_B), TracePoint(0.0, COND_A)])
+    assert trace.points[0].time == 0.0
+
+
+def test_install_schedules_changes():
+    loop = EventLoop()
+    path = Path(loop, COND_A, rng=random.Random(0))
+    trace = ConditionTrace([TracePoint(0.0, COND_A), TracePoint(5.0, COND_B)])
+    trace.install(loop, path)
+    assert path.conditions == COND_A
+    loop.run_until(4.0)
+    assert path.conditions == COND_A
+    loop.run_until(6.0)
+    assert path.conditions == COND_B
+
+
+def test_install_is_relative_to_now():
+    loop = EventLoop()
+    path = Path(loop, COND_A, rng=random.Random(0))
+    loop.run_until(100.0)
+    trace = ConditionTrace([TracePoint(0.0, COND_A), TracePoint(5.0, COND_B)])
+    trace.install(loop, path)
+    loop.run_until(104.0)
+    assert path.conditions == COND_A
+    loop.run_until(106.0)
+    assert path.conditions == COND_B
+
+
+def test_trace_drives_delivery_rate():
+    loop = EventLoop()
+    slow = NetworkConditions(bandwidth_bps=8_000.0, rtt=0.0)
+    fast = NetworkConditions(bandwidth_bps=800_000.0, rtt=0.0)
+    path = Path(loop, slow, rng=random.Random(0))
+    trace = ConditionTrace([TracePoint(0.0, slow), TracePoint(1.0, fast)])
+    trace.install(loop, path)
+    times = []
+    path.deliver_to_client = lambda d: times.append(loop.now)
+    path.send_to_client(Datagram(b"x" * 100))  # 0.1s at slow rate
+    loop.run_until(2.0)
+    path.send_to_client(Datagram(b"x" * 100))  # 0.001s at fast rate
+    loop.run()
+    assert times[0] == pytest.approx(0.1)
+    assert times[1] - 2.0 == pytest.approx(0.001)

@@ -1,0 +1,93 @@
+"""Tests for the UG/OD QoS processes (Fig 3 / Fig 4 calibration)."""
+
+import random
+
+import pytest
+
+from repro.metrics.stats import coefficient_of_variation, mean
+from repro.workload.network import (
+    NetworkModel,
+    od_bw_sigma,
+    od_rtt_sigma,
+)
+
+
+def test_ug_dispersion_matches_fig3():
+    """Within-UG CVs: MinRTT ≈ 36.4 %, MaxBW ≈ 51.6 %."""
+    model = NetworkModel(random.Random(1))
+    rtt_cvs, bw_cvs = [], []
+    for _ in range(120):
+        ug = model.sample_user_group()
+        ods = [model.sample_od_pair(ug) for _ in range(30)]
+        rtt_cvs.append(coefficient_of_variation([od.base_rtt for od in ods]))
+        bw_cvs.append(coefficient_of_variation([od.base_bandwidth_bps for od in ods]))
+    assert 0.28 < mean(rtt_cvs) < 0.45
+    assert 0.40 < mean(bw_cvs) < 0.62
+
+
+def test_od_drift_matches_fig4_minrtt():
+    """Within-OD MinRTT CV ≈ 9.9 % at 5-minute intervals."""
+    model = NetworkModel(random.Random(2))
+    cvs = []
+    for i in range(150):
+        od = model.sample_od_pair()
+        rng = random.Random(1000 + i)
+        rtts = [od.conditions_at(rng, interval_minutes=5.0).rtt for _ in range(20)]
+        cvs.append(coefficient_of_variation(rtts))
+    assert 0.07 < mean(cvs) < 0.13
+
+
+def test_od_drift_matches_fig4_maxbw():
+    """Within-OD MaxBW CV ≈ 27 % at 5-minute intervals."""
+    model = NetworkModel(random.Random(3))
+    cvs = []
+    for i in range(150):
+        od = model.sample_od_pair()
+        rng = random.Random(2000 + i)
+        bws = [od.conditions_at(rng, interval_minutes=5.0).bandwidth_bps for _ in range(20)]
+        cvs.append(coefficient_of_variation(bws))
+    assert 0.21 < mean(cvs) < 0.33
+
+
+def test_od_more_stable_than_ug():
+    """Fig 4 obs (iv): OD-pair QoS is far more stable than UG-level."""
+    # Paper ratios: MinRTT 9.9% vs 36.4% (~0.27), MaxBW 27% vs 51.6% (~0.52).
+    assert od_rtt_sigma(5.0) < 0.355 * 0.35
+    assert od_bw_sigma(5.0) < 0.49 * 0.60
+
+
+def test_drift_sigma_grows_with_interval():
+    """Fig 4 obs (i): dispersion grows slowly with the interval."""
+    assert od_rtt_sigma(5.0) < od_rtt_sigma(10.0) < od_rtt_sigma(60.0)
+    assert od_bw_sigma(5.0) < od_bw_sigma(60.0)
+    # "Slightly differentiated": 60-minute sigma is < 25% above 5-minute.
+    assert od_rtt_sigma(60.0) < od_rtt_sigma(5.0) * 1.25
+
+
+def test_conditions_within_sane_bounds():
+    model = NetworkModel(random.Random(4))
+    rng = random.Random(5)
+    for _ in range(200):
+        od = model.sample_od_pair()
+        cond = od.conditions_at(rng)
+        assert 300_000 <= cond.bandwidth_bps
+        assert 0.008 <= cond.rtt <= 0.8
+        assert 0.0 <= cond.loss_rate < 0.2
+        assert cond.buffer_bytes >= 16_000
+
+
+def test_loss_mix_produces_lossless_share_and_lossy_tail():
+    """The mix is loss-heavy (paper FFLR avg 8.8%) but a solid share of
+    paths is clean, and the tail reaches the Fig 13(d) retransmission
+    buckets."""
+    model = NetworkModel(random.Random(6))
+    losses = [model.sample_od_pair().loss_rate for _ in range(500)]
+    lossless = sum(1 for l in losses if l == 0.0)
+    assert 0.25 * len(losses) < lossless < 0.5 * len(losses)
+    assert any(l > 0.10 for l in losses)
+
+
+def test_od_ids_unique():
+    model = NetworkModel(random.Random(7))
+    ids = {model.sample_od_pair().od_id for _ in range(50)}
+    assert len(ids) == 50

@@ -1,0 +1,78 @@
+"""Tests for deployment session-chain generation."""
+
+import pytest
+
+from repro.quic.connection import HandshakeMode
+from repro.workload.population import Deployment, DeploymentConfig
+
+
+def make_deployment(**kwargs):
+    defaults = dict(n_od_pairs=100, seed=3)
+    defaults.update(kwargs)
+    return Deployment(DeploymentConfig(**defaults))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DeploymentConfig(n_od_pairs=0)
+    with pytest.raises(ValueError):
+        DeploymentConfig(p_zero_rtt=1.5)
+
+
+def test_one_chain_per_od_pair():
+    chains = make_deployment().generate()
+    assert len(chains) == 100
+    assert all(chain for chain in chains)
+
+
+def test_chain_epochs_monotone():
+    for chain in make_deployment().generate():
+        epochs = [spec.epoch for spec in chain]
+        assert epochs == sorted(epochs)
+
+
+def test_first_session_flagged():
+    for chain in make_deployment().generate():
+        assert chain[0].is_first_session
+        assert all(not spec.is_first_session for spec in chain[1:])
+
+
+def test_zero_rtt_fraction_near_ninety_percent():
+    specs = make_deployment(n_od_pairs=400).sessions()
+    frac = sum(1 for s in specs if s.handshake_mode == HandshakeMode.ZERO_RTT) / len(specs)
+    assert 0.85 < frac < 0.95
+
+
+def test_chain_lengths_bounded_and_varied():
+    chains = make_deployment(n_od_pairs=300).generate()
+    lengths = [len(c) for c in chains]
+    assert max(lengths) <= DeploymentConfig().max_sessions_per_od
+    assert min(lengths) >= 1
+    assert len(set(lengths)) > 1
+
+
+def test_gaps_include_stale_tail():
+    """Some revisit gaps must exceed Δ=60min to exercise corner case 2."""
+    specs = make_deployment(n_od_pairs=400).sessions()
+    revisits = [s for s in specs if not s.is_first_session]
+    stale = sum(1 for s in revisits if s.gap_minutes > 60.0)
+    assert stale > 0
+    assert stale / len(revisits) < 0.3
+
+
+def test_chain_shares_od_and_stream():
+    for chain in make_deployment().generate():
+        assert len({spec.od.od_id for spec in chain}) == 1
+        assert len({spec.stream_profile.seed for spec in chain}) == 1
+
+
+def test_deterministic_generation():
+    a = make_deployment(seed=9).sessions()
+    b = make_deployment(seed=9).sessions()
+    assert [(s.seed, s.epoch) for s in a] == [(s.seed, s.epoch) for s in b]
+
+
+def test_seeds_unique_across_sessions():
+    specs = make_deployment(n_od_pairs=200).sessions()
+    seeds = [s.seed for s in specs]
+    assert len(set(seeds)) == len(seeds)

@@ -1,0 +1,76 @@
+"""Tests for Fig 1(a)-calibrated stream sampling."""
+
+import random
+
+from repro.metrics.stats import mean
+from repro.workload.streams import (
+    MAX_FF_BYTES,
+    MIN_FF_BYTES,
+    sample_ff_size,
+    sample_stream_profile,
+)
+
+
+def sample_many(n=20_000, seed=1):
+    rng = random.Random(seed)
+    return [sample_ff_size(rng) for _ in range(n)]
+
+
+def test_ff_mean_matches_paper():
+    """Fig 1(a): average first-frame size 43.1 KB (±10 %)."""
+    sizes = sample_many()
+    assert 39_000 < mean(sizes) < 48_000
+
+
+def test_ff_p30_below_30kb():
+    """Fig 1(a): ~30 % of streams are under 30 KB."""
+    sizes = sample_many()
+    frac = sum(1 for s in sizes if s < 30_000) / len(sizes)
+    assert 0.25 < frac < 0.35
+
+
+def test_ff_p80_above_60kb():
+    """Fig 1(a): ~20 % of streams exceed 60 KB."""
+    sizes = sample_many()
+    frac = sum(1 for s in sizes if s > 60_000) / len(sizes)
+    assert 0.15 < frac < 0.25
+
+
+def test_ff_range_clamped_to_measured_extremes():
+    """§I: observed first frames span 6 KB to 250 KB."""
+    sizes = sample_many()
+    assert min(sizes) >= MIN_FF_BYTES
+    assert max(sizes) <= MAX_FF_BYTES
+
+
+def test_profile_pins_ff_target():
+    rng = random.Random(3)
+    profile = sample_stream_profile(rng, stream_seed=9)
+    assert profile.first_frame_target_bytes is not None
+    assert MIN_FF_BYTES <= profile.first_frame_target_bytes <= MAX_FF_BYTES
+
+
+def test_profile_bitrate_scales_with_ff():
+    rng = random.Random(4)
+    profiles = [sample_stream_profile(rng, stream_seed=i) for i in range(50)]
+    pairs = sorted(
+        (p.first_frame_target_bytes, p.video_bitrate_bps) for p in profiles
+    )
+    # Bitrate must be monotone in first-frame size by construction.
+    bitrates = [b for _, b in pairs]
+    assert bitrates == sorted(bitrates)
+
+
+def test_viewer_bandwidth_caps_rendition():
+    """ABR correlation: slow viewers get lower-bitrate streams."""
+    rng = random.Random(5)
+    slow = [
+        sample_stream_profile(random.Random(i), i, viewer_bandwidth_bps=2e6)
+        for i in range(50)
+    ]
+    assert all(p.video_bitrate_bps <= 0.7 * 2e6 * 1.01 for p in slow)
+
+
+def test_sampling_deterministic_per_rng_state():
+    assert sample_many(100, seed=7) == sample_many(100, seed=7)
+    assert sample_many(100, seed=7) != sample_many(100, seed=8)
