@@ -153,7 +153,7 @@ class WiraServer:
             if delay <= 0:
                 self._deliver_batch(stream_id, blob, last)
             else:
-                self.loop.call_later(delay, self._deliver_batch, stream_id, blob, last)
+                self.loop.post_later(delay, self._deliver_batch, stream_id, blob, last)
 
     def _deliver_batch(self, stream_id: int, blob: bytes, last: bool) -> None:
         """Parse-then-send, the ngx_quic_send_data integration point."""

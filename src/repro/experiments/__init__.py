@@ -9,9 +9,9 @@ mapping and EXPERIMENTS.md for paper-vs-measured numbers.
 from repro.experiments.common import (
     DeploymentRecords,
     SessionOutcome,
-    run_deployment,
     run_testbed_session,
 )
+from repro.experiments.runner import run_deployment
 
 __all__ = [
     "DeploymentRecords",

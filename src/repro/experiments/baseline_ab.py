@@ -13,7 +13,8 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.core.initializer import Scheme
-from repro.experiments.common import HEADLINE_CONFIG, run_deployment
+from repro.experiments.common import HEADLINE_CONFIG
+from repro.experiments.runner import run_deployment
 from repro.metrics.stats import mean, percentile
 
 

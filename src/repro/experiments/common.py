@@ -9,7 +9,10 @@ each chain through the client's store, so first sessions are cookie-less
 and long gaps go stale — exactly the populations §VI aggregates over.
 
 Results are cached per configuration: Figs 11–15 all read the same
-deployment run.
+deployment run.  The replay itself — including process-pool sharding and
+the persistent on-disk cache — lives in
+:mod:`repro.experiments.runner`; :func:`run_deployment` here is a thin
+delegate kept for backwards compatibility.
 """
 
 from __future__ import annotations
@@ -25,7 +28,7 @@ from repro.core.transport_cookie import ClientCookieStore, ServerCookieManager
 from repro.quic.config import QuicConfig
 from repro.quic.connection import HandshakeMode
 from repro.simnet.path import NetworkConditions
-from repro.workload.population import Deployment, DeploymentConfig, SessionSpec
+from repro.workload.population import DeploymentConfig, SessionSpec
 
 COOKIE_KEY = b"wira-deployment-cookie-key-32b!!"
 
@@ -51,36 +54,32 @@ class SessionOutcome:
 
 DeploymentRecords = Dict[Scheme, List[SessionOutcome]]
 
-_DEPLOYMENT_CACHE: Dict[tuple, DeploymentRecords] = {}
-
 
 def run_deployment(
     config: Optional[DeploymentConfig] = None,
     schemes: Sequence[Scheme] = EVAL_SCHEMES,
     wira_config: Optional[WiraConfig] = None,
     use_cache: bool = True,
+    jobs: Optional[int] = None,
+    disk_cache: Optional[bool] = None,
 ) -> DeploymentRecords:
-    """Replay the deployment under each scheme; returns paired records."""
-    config = config or DeploymentConfig()
-    wira_config = wira_config or WiraConfig()
-    cache_key = (
-        tuple(sorted(s.value for s in schemes)),
-        tuple(sorted(vars(config).items())),
-        tuple(sorted(vars(wira_config).items())),
-    )
-    if use_cache and cache_key in _DEPLOYMENT_CACHE:
-        return _DEPLOYMENT_CACHE[cache_key]
+    """Replay the deployment under each scheme; returns paired records.
 
-    chains = Deployment(config).generate()
-    records: DeploymentRecords = {scheme: [] for scheme in schemes}
-    for scheme in schemes:
-        for chain_index, chain in enumerate(chains):
-            records[scheme].extend(
-                _run_chain(scheme, chain, chain_index, config, wira_config)
-            )
-    if use_cache:
-        _DEPLOYMENT_CACHE[cache_key] = records
-    return records
+    Delegates to :func:`repro.experiments.runner.run_deployment`, which
+    adds process-pool sharding (``jobs`` / ``WIRA_JOBS``) and a
+    persistent result cache (``WIRA_CACHE_DIR`` / ``WIRA_DISK_CACHE``)
+    on top of the original serial replay.
+    """
+    from repro.experiments.runner import run_deployment as _run
+
+    return _run(
+        config=config,
+        schemes=schemes,
+        wira_config=wira_config,
+        use_cache=use_cache,
+        jobs=jobs,
+        disk_cache=disk_cache,
+    )
 
 
 def _run_chain(

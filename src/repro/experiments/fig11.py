@@ -17,8 +17,8 @@ from repro.experiments.common import (
     DeploymentRecords,
     EVAL_SCHEMES,
     HEADLINE_CONFIG,
-    run_deployment,
 )
+from repro.experiments.runner import run_deployment
 from repro.metrics.collector import MetricSeries
 from repro.metrics.stats import mean, percentile
 

@@ -23,8 +23,8 @@ from repro.experiments.common import (
     EVAL_SCHEMES,
     HEADLINE_CONFIG,
     SessionOutcome,
-    run_deployment,
 )
+from repro.experiments.runner import run_deployment
 from repro.metrics.stats import mean
 
 FF_BUCKETS_KB: Tuple[Tuple[float, float], ...] = ((0, 30), (30, 50), (50, 80), (80, 150), (150, 300))

@@ -16,8 +16,8 @@ from repro.experiments.common import (
     DeploymentRecords,
     EVAL_SCHEMES,
     HEADLINE_CONFIG,
-    run_deployment,
 )
+from repro.experiments.runner import run_deployment
 from repro.metrics.stats import mean, percentile
 from repro.quic.connection import HandshakeMode
 

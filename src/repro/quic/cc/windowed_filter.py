@@ -1,84 +1,78 @@
-"""Kathleen Nichols' windowed min/max estimator, as used by BBR.
+"""Windowed min/max estimator, as used by BBR.
 
-Keeps the best (max or min) three samples over a sliding window measured
-in arbitrary "time" units (BBR uses round-trip counts for the bandwidth
-filter and seconds for the RTT filter).  This is a faithful port of the
-algorithm in Linux's ``lib/win_minmax.c``.
+Tracks the extremum (max or min) of samples over a sliding window
+measured in arbitrary "time" units (BBR uses round-trip counts for the
+bandwidth filter and seconds for the RTT filter).
+
+The classic implementation — Kathleen Nichols' three-sample filter in
+Linux's ``lib/win_minmax.c`` — is approximate: a sample that is dominated
+on arrival is discarded, so when the then-best expires the filter can
+report a value *below* the true in-window extremum (e.g. max samples
+``2.0@t=0, 1.0@t=1, 0.0@t=11`` with a window of 10 yield ``0.0`` instead
+of ``1.0``).  This module instead keeps a monotonic deque of candidate
+samples, which is exact: ``get()`` always equals the true extremum over
+samples whose age relative to the newest sample is within the window.
+Each sample is appended and popped at most once, so ``update`` remains
+amortised O(1).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Generic, Optional, TypeVar
+from collections import deque
+from typing import Deque, Generic, Optional, Tuple, TypeVar
 
 T = TypeVar("T", int, float)
 
 
-@dataclass
-class _Sample(Generic[T]):
-    time: float
-    value: T
-
-
 class WindowedFilter(Generic[T]):
-    """Windowed extremum filter with three-sample recency tracking.
+    """Exact sliding-window extremum filter.
 
     Parameters
     ----------
     window:
-        Window length in the caller's time unit.
+        Window length in the caller's time unit.  A sample at time ``t``
+        is considered expired once a newer sample arrives at
+        ``now > t + window``.
     is_max:
         ``True`` for a max filter (bandwidth), ``False`` for min (RTT).
     """
+
+    __slots__ = ("window", "is_max", "_samples")
 
     def __init__(self, window: float, is_max: bool = True) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
         self.window = window
         self.is_max = is_max
-        self._estimates: Optional[list] = None
+        # (time, value) candidates: times increasing, values strictly
+        # worsening front-to-back (front is the current best).
+        self._samples: Deque[Tuple[float, T]] = deque()
 
-    def _better(self, a: T, b: T) -> bool:
+    def _better_or_equal(self, a: T, b: T) -> bool:
         return a >= b if self.is_max else a <= b
 
     def reset(self, value: T, time: float) -> None:
-        sample = _Sample(time, value)
-        self._estimates = [sample, sample, sample]
+        """Forget history and restart from a single sample."""
+        self._samples.clear()
+        self._samples.append((time, value))
 
     def update(self, value: T, time: float) -> T:
         """Insert a sample at ``time``; returns the current best."""
-        if self._estimates is None:
-            self.reset(value, time)
-            assert self._estimates is not None
-            return self._estimates[0].value
-
-        best, second, third = self._estimates
-        sample = _Sample(time, value)
-
-        if self._better(value, best.value) or time - third.time > self.window:
-            # New overall best, or the window wholly expired.
-            self.reset(value, time)
-            return value
-
-        if self._better(value, second.value):
-            self._estimates[1] = sample
-            self._estimates[2] = sample
-        elif self._better(value, third.value):
-            self._estimates[2] = sample
-
-        # Expire stale bests by promoting newer estimates.
-        best, second, third = self._estimates
-        if time - best.time > self.window:
-            self._estimates = [second, third, sample]
-        elif time - second.time > self.window / 2 and second is best:
-            self._estimates[1] = sample
-            self._estimates[2] = sample
-        elif time - third.time > self.window / 4 and third is second:
-            self._estimates[2] = sample
-        return self._estimates[0].value
+        samples = self._samples
+        # Newer-and-better samples dominate older-and-worse ones: any
+        # candidate the new sample beats can never be the windowed
+        # extremum again (it would expire first).
+        while samples and self._better_or_equal(value, samples[-1][1]):
+            samples.pop()
+        samples.append((time, value))
+        # Evict candidates that have aged out of the window.
+        window = self.window
+        while time - samples[0][0] > window:
+            samples.popleft()
+        return samples[0][1]
 
     def get(self) -> Optional[T]:
         """Current best estimate, or ``None`` before any sample."""
-        if self._estimates is None:
+        if not self._samples:
             return None
-        return self._estimates[0].value
+        return self._samples[0][1]

@@ -24,6 +24,8 @@ class Pacer:
         Bucket capacity: bytes that may leave back-to-back after idle.
     """
 
+    __slots__ = ("_rate_bps", "burst_bytes", "_tokens", "_last_update")
+
     def __init__(self, rate_bps: float, burst_bytes: int = 10 * 1252) -> None:
         if rate_bps <= 0:
             raise ValueError("pacing rate must be positive")

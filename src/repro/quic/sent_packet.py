@@ -8,7 +8,7 @@ from typing import Tuple
 from repro.quic.frames import Frame
 
 
-@dataclass
+@dataclass(slots=True)
 class SentPacket:
     """Metadata kept by the sender for every transmitted packet.
 

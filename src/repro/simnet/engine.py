@@ -14,6 +14,13 @@ Typical use::
 Components built on top of the engine (links, pacers, retransmission
 timers) never consult wall-clock time; they only ever observe
 :attr:`EventLoop.now`.
+
+The heap stores plain ``(time, seq, event, callback, args)`` tuples.
+``event`` is ``None`` for fire-and-forget callbacks scheduled through
+:meth:`EventLoop.post_at` / :meth:`EventLoop.post_later` — the common
+case for per-packet work (link serialisation, delivery), which avoids an
+``Event`` allocation per packet.  ``seq`` is unique, so tuple comparison
+never reaches the callback.
 """
 
 from __future__ import annotations
@@ -34,7 +41,7 @@ class Event:
     skipped when popped (lazy deletion), which keeps cancellation O(1).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_loop", "_finished")
 
     def __init__(
         self,
@@ -42,16 +49,23 @@ class Event:
         seq: int,
         callback: Callable[..., Any],
         args: Tuple[Any, ...],
+        loop: Optional["EventLoop"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._loop = loop
+        self._finished = False
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if not self._finished and self._loop is not None:
+            self._loop._pending -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -72,10 +86,11 @@ class EventLoop:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
-        self._heap: List[Event] = []
+        self._heap: List[tuple] = []
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        self._pending = 0
 
     @property
     def now(self) -> float:
@@ -84,8 +99,8 @@ class EventLoop:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-cancelled events still queued.  O(1)."""
+        return self._pending
 
     @property
     def processed_events(self) -> int:
@@ -103,8 +118,9 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule event at t={when:.6f}, clock is at t={self._now:.6f}"
             )
-        event = Event(when, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
+        event = Event(when, next(self._seq), callback, args, self)
+        heapq.heappush(self._heap, (when, event.seq, event, callback, args))
+        self._pending += 1
         return event
 
     def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
@@ -112,6 +128,25 @@ class EventLoop:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         return self.call_at(self._now + delay, callback, *args)
+
+    def post_at(self, when: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`call_at`: no :class:`Event` handle.
+
+        Use for the non-cancellable common case (per-packet link events);
+        it skips the handle allocation entirely.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={when:.6f}, clock is at t={self._now:.6f}"
+            )
+        heapq.heappush(self._heap, (when, next(self._seq), None, callback, args))
+        self._pending += 1
+
+    def post_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`call_later`: no :class:`Event` handle."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self.post_at(self._now + delay, callback, *args)
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Drain the queue until empty (or ``max_events`` callbacks ran).
@@ -135,21 +170,28 @@ class EventLoop:
             raise SimulationError("event loop is not reentrant")
         self._running = True
         executed = 0
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap:
+            while heap:
                 if max_events is not None and executed >= max_events:
                     break
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
+                entry = heap[0]
+                event = entry[2]
+                if event is not None and event.cancelled:
+                    heappop(heap)
                     continue
-                if until is not None and event.time > until:
+                when = entry[0]
+                if until is not None and when > until:
                     break
-                heapq.heappop(self._heap)
-                self._now = event.time
-                event.callback(*event.args)
+                heappop(heap)
+                self._pending -= 1
+                if event is not None:
+                    event._finished = True
+                self._now = when
+                entry[3](*entry[4])
                 executed += 1
-                self._processed += 1
         finally:
+            self._processed += executed
             self._running = False
         return executed

@@ -26,7 +26,7 @@ from collections import deque
 from repro.simnet.engine import EventLoop
 
 
-@dataclass
+@dataclass(slots=True)
 class Datagram:
     """A packet travelling through the simulated network.
 
@@ -95,6 +95,20 @@ class Link:
         the link.  May be (re)assigned after construction.
     """
 
+    __slots__ = (
+        "_loop",
+        "bandwidth_bps",
+        "propagation_delay",
+        "buffer_bytes",
+        "loss_rate",
+        "_rng",
+        "on_deliver",
+        "stats",
+        "_queue",
+        "_queue_bytes",
+        "_busy",
+    )
+
     def __init__(
         self,
         loop: EventLoop,
@@ -154,10 +168,10 @@ class Link:
     def _begin_transmission(self, datagram: Datagram) -> None:
         self._busy = True
         tx_time = datagram.size * 8.0 / self.bandwidth_bps
-        self._loop.call_later(tx_time, self._finish_transmission, datagram)
+        self._loop.post_later(tx_time, self._finish_transmission, datagram)
 
     def _finish_transmission(self, datagram: Datagram) -> None:
-        self._loop.call_later(self.propagation_delay, self._deliver, datagram)
+        self._loop.post_later(self.propagation_delay, self._deliver, datagram)
         if self._queue:
             next_datagram = self._queue.popleft()
             self._queue_bytes -= next_datagram.size

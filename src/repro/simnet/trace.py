@@ -71,4 +71,4 @@ class ConditionTrace:
         start = loop.now
         path.update_conditions(self.points[0].conditions)
         for point in self.points[1:]:
-            loop.call_at(start + point.time, path.update_conditions, point.conditions)
+            loop.post_at(start + point.time, path.update_conditions, point.conditions)

@@ -1,0 +1,159 @@
+"""Tests for the parallel replay engine and its persistent cache.
+
+The parallel path must be *bit-identical* to the serial reference: each
+(scheme, chain) unit owns its cookie store, origin and seeds, so sharding
+them across processes may not change a single field of any result.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.config import WiraConfig
+from repro.core.initializer import Scheme
+from repro.experiments import common, runner
+from repro.workload.population import DeploymentConfig
+
+SCHEMES = (Scheme.BASELINE, Scheme.WIRA)
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches(tmp_path, monkeypatch):
+    """Point the disk cache at a fresh tmp dir and drop the memo."""
+    monkeypatch.setenv("WIRA_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("WIRA_JOBS", raising=False)
+    monkeypatch.delenv("WIRA_DISK_CACHE", raising=False)
+    runner.clear_caches()
+    yield
+    runner.clear_caches()
+
+
+def tiny_config(seed):
+    return DeploymentConfig(n_od_pairs=3, seed=seed, video_frames_per_session=6)
+
+
+def assert_records_identical(a, b):
+    assert set(a) == set(b)
+    for scheme in a:
+        assert len(a[scheme]) == len(b[scheme])
+        for left, right in zip(a[scheme], b[scheme]):
+            assert left.spec == right.spec
+            assert left.result == right.result
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("seed", [3, 21])
+    def test_parallel_matches_serial_records(self, seed):
+        """Property: every SessionResult sequence is identical per scheme."""
+        config = tiny_config(seed)
+        serial = runner.run_deployment(config, SCHEMES, use_cache=False, jobs=1)
+        parallel = runner.run_deployment(config, SCHEMES, use_cache=False, jobs=2)
+        assert_records_identical(serial, parallel)
+
+    def test_parallel_pool_failure_falls_back_to_serial(self, monkeypatch):
+        config = tiny_config(5)
+
+        def broken(*args, **kwargs):
+            raise OSError("no processes in this sandbox")
+
+        monkeypatch.setattr(runner, "_replay_parallel", broken)
+        records = runner.run_deployment(config, SCHEMES, use_cache=False, jobs=4)
+        reference = runner.run_deployment(config, SCHEMES, use_cache=False, jobs=1)
+        assert_records_identical(records, reference)
+
+
+class TestJobsResolution:
+    def test_explicit_argument_wins(self):
+        assert runner.resolve_jobs(3) == 3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("WIRA_JOBS", "6")
+        assert runner.resolve_jobs() == 6
+
+    def test_default_is_serial(self):
+        assert runner.resolve_jobs() == 1
+
+    def test_garbage_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("WIRA_JOBS", "many")
+        assert runner.resolve_jobs() == 1
+
+    def test_floor_of_one(self):
+        assert runner.resolve_jobs(0) == 1
+        assert runner.resolve_jobs(-2) == 1
+
+    def test_disk_cache_env_switch(self, monkeypatch):
+        assert runner.disk_cache_enabled() is True
+        monkeypatch.setenv("WIRA_DISK_CACHE", "0")
+        assert runner.disk_cache_enabled() is False
+        assert runner.disk_cache_enabled(True) is True
+
+
+class TestPersistentCache:
+    def test_round_trip_across_memory_cache_clears(self):
+        """A second 'session' (cleared memo) reloads the disk copy."""
+        config = tiny_config(9)
+        first = runner.run_deployment(config, SCHEMES)
+        key = runner.cache_key(config, WiraConfig(), SCHEMES)
+        assert runner._cache_path(key).exists()
+
+        runner.clear_caches()  # simulate a fresh pytest invocation
+        again = runner.run_deployment(config, SCHEMES)
+        assert again is not first
+        assert_records_identical(first, again)
+
+    def test_memory_cache_still_returns_same_object(self):
+        config = tiny_config(9)
+        first = runner.run_deployment(config, SCHEMES)
+        assert runner.run_deployment(config, SCHEMES) is first
+
+    def test_corrupted_cache_file_recovers(self):
+        config = tiny_config(13)
+        first = runner.run_deployment(config, SCHEMES)
+        key = runner.cache_key(config, WiraConfig(), SCHEMES)
+        path = runner._cache_path(key)
+        path.write_bytes(b"\x00not a pickle at all")
+
+        runner.clear_caches()
+        again = runner.run_deployment(config, SCHEMES)
+        assert_records_identical(first, again)
+        # The bad file was replaced by a healthy one.
+        with path.open("rb") as fh:
+            assert runner._looks_like_records(pickle.load(fh))
+
+    def test_wrong_shaped_pickle_recovers(self):
+        config = tiny_config(13)
+        first = runner.run_deployment(config, SCHEMES)
+        key = runner.cache_key(config, WiraConfig(), SCHEMES)
+        path = runner._cache_path(key)
+        path.write_bytes(pickle.dumps({"not": "records"}))
+
+        runner.clear_caches()
+        again = runner.run_deployment(config, SCHEMES)
+        assert_records_identical(first, again)
+
+    def test_key_depends_on_inputs(self):
+        wira = WiraConfig()
+        base = runner.cache_key(tiny_config(1), wira, SCHEMES)
+        assert runner.cache_key(tiny_config(2), wira, SCHEMES) != base
+        assert runner.cache_key(tiny_config(1), wira, (Scheme.BASELINE,)) != base
+        assert (
+            runner.cache_key(
+                tiny_config(1), WiraConfig(video_frame_threshold=3), SCHEMES
+            )
+            != base
+        )
+
+    def test_use_cache_false_bypasses_disk(self):
+        config = tiny_config(17)
+        runner.run_deployment(config, SCHEMES, use_cache=False)
+        key = runner.cache_key(config, WiraConfig(), SCHEMES)
+        assert not runner._cache_path(key).exists()
+
+    def test_unwritable_cache_dir_is_not_fatal(self, monkeypatch, tmp_path):
+        blocked = tmp_path / "file-not-dir"
+        blocked.write_text("occupies the path")
+        monkeypatch.setenv("WIRA_CACHE_DIR", str(blocked / "sub"))
+        config = tiny_config(19)
+        records = runner.run_deployment(config, SCHEMES)
+        assert sum(len(v) for v in records.values()) > 0

@@ -45,6 +45,22 @@ class TestWindowedFilter:
         with pytest.raises(ValueError):
             WindowedFilter(window=0)
 
+    def test_dominated_sample_survives_best_expiry(self):
+        """Regression: a dominated-on-arrival sample must become the
+        estimate once the old best ages out of the window."""
+        f = WindowedFilter(window=10.0, is_max=True)
+        f.update(2.0, time=0.0)
+        f.update(1.0, time=1.0)
+        f.update(0.0, time=11.0)
+        assert f.get() == 1.0
+
+    def test_min_filter_dominated_sample_survives_expiry(self):
+        f = WindowedFilter(window=10.0, is_max=False)
+        f.update(2.0, time=0.0)
+        f.update(5.0, time=1.0)
+        f.update(9.0, time=11.0)
+        assert f.get() == 5.0
+
     @given(
         st.lists(
             st.tuples(st.floats(min_value=0, max_value=1e9), st.floats(min_value=0, max_value=100)),

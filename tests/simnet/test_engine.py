@@ -125,6 +125,49 @@ def test_pending_and_processed_counters():
     assert keep.cancelled is False
 
 
+def test_pending_counter_is_live():
+    loop = EventLoop()
+    events = [loop.call_later(float(i + 1), lambda: None) for i in range(5)]
+    loop.post_later(6.0, lambda: None)
+    assert loop.pending_events == 6
+    events[0].cancel()
+    events[0].cancel()  # idempotent: no double decrement
+    assert loop.pending_events == 5
+    loop.run(max_events=2)
+    assert loop.pending_events == 3
+    loop.run()
+    assert loop.pending_events == 0
+
+
+def test_cancel_after_execution_does_not_corrupt_counter():
+    loop = EventLoop()
+    event = loop.call_later(1.0, lambda: None)
+    loop.call_later(2.0, lambda: None)
+    loop.run(max_events=1)
+    event.cancel()  # already ran; must not decrement the live counter
+    assert loop.pending_events == 1
+    loop.run()
+    assert loop.pending_events == 0
+
+
+def test_post_later_fires_in_order_with_call_later():
+    loop = EventLoop()
+    order = []
+    loop.call_later(1.0, order.append, "a")
+    loop.post_later(1.0, order.append, "b")
+    loop.call_later(1.0, order.append, "c")
+    loop.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_post_at_rejects_past_and_negative():
+    loop = EventLoop(start_time=5.0)
+    with pytest.raises(SimulationError):
+        loop.post_at(4.0, lambda: None)
+    with pytest.raises(SimulationError):
+        loop.post_later(-0.1, lambda: None)
+
+
 def test_loop_not_reentrant():
     loop = EventLoop()
 
