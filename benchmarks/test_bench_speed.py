@@ -22,6 +22,7 @@ import os
 import time
 from pathlib import Path
 
+from repro import sanitize
 from repro.experiments import common, runner
 from repro.simnet.engine import EventLoop
 from repro.workload.population import DeploymentConfig
@@ -92,6 +93,52 @@ class TestEventLoopThroughput:
         # Loose sanity floor — the optimised loop clears ~800k ev/s on a
         # single 2020s core; trip only on order-of-magnitude regressions.
         assert best > 150_000
+
+
+class TestSanitizerOverhead:
+    """Runtime-sanitizer cost on the event-loop hot path.
+
+    The acceptance budget: <= 10% throughput loss with ``WIRA_SANITIZE=1``
+    (the checked loop runs one inlined comparison per event), and ~0%
+    when disabled (the hook is a single module-global test before the
+    loop starts, never inside it).
+    """
+
+    N_EVENTS = 200_000
+    BUDGET = 0.10
+
+    def test_enabled_overhead_within_budget(self, capsys):
+        bench = TestEventLoopThroughput()
+        sanitize.disable()
+        bench._drive(20_000)  # warm-up
+        disabled = max(bench._drive(self.N_EVENTS) for _ in range(3))
+        with sanitize.sanitized() as san:
+            bench._drive(20_000)
+            enabled = max(bench._drive(self.N_EVENTS) for _ in range(3))
+        assert san.checks_run["clock_monotonic"] > self.N_EVENTS  # genuinely on
+
+        overhead = (disabled - enabled) / disabled
+        _record(
+            "sanitizer_overhead",
+            {
+                "events": self.N_EVENTS,
+                "disabled_events_per_second": round(disabled),
+                "enabled_events_per_second": round(enabled),
+                "overhead_fraction": round(overhead, 4),
+            },
+        )
+        with capsys.disabled():
+            print(
+                f"\nSanitizer overhead: disabled {disabled:,.0f} ev/s, "
+                f"enabled {enabled:,.0f} ev/s ({overhead:+.1%})"
+            )
+        # Double the budget as the assertion ceiling: best-of-3 absorbs
+        # most scheduler noise, but shared CI runners still jitter a few
+        # percent either way.
+        assert overhead <= 2 * self.BUDGET, (
+            f"sanitizer costs {overhead:.1%} event-loop throughput "
+            f"(budget {self.BUDGET:.0%})"
+        )
 
 
 class TestReplayWallClock:

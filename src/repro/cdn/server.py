@@ -142,7 +142,10 @@ class WiraServer:
         # leading script/audio may be deliverable before the I frame).
         batches: List[Tuple[float, List]] = []
         for frame, delay in fetch.frames:
-            if batches and batches[-1][0] == delay:
+            # Exact comparison is intended: frames in one availability
+            # batch carry the identical sampled delay value, untouched by
+            # arithmetic, so grouping by equality cannot mis-split.
+            if batches and batches[-1][0] == delay:  # wira-lint: disable=WL003
                 batches[-1][1].append(frame)
             else:
                 batches.append((delay, [frame]))

@@ -63,5 +63,7 @@ def verify(rows: List[Table1Row]) -> None:
     assert by_scheme[Scheme.WIRA_FF].cwnd_bytes == ff_wire
     assert by_scheme[Scheme.WIRA_HX].cwnd_bytes == bdp
     assert by_scheme[Scheme.WIRA].cwnd_bytes == min(ff_wire, bdp)
-    assert by_scheme[Scheme.WIRA_HX].pacing_bps == 8e6
-    assert by_scheme[Scheme.WIRA].pacing_bps == 8e6
+    # Exact equality is the point of this check: Table I passes MaxBW
+    # through to init_pacing unchanged, so any arithmetic drift is a bug.
+    assert by_scheme[Scheme.WIRA_HX].pacing_bps == 8e6  # wira-lint: disable=WL003
+    assert by_scheme[Scheme.WIRA].pacing_bps == 8e6  # wira-lint: disable=WL003

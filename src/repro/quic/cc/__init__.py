@@ -11,6 +11,8 @@ Every controller honours the two Wira hooks on
 ``set_initial_window`` and ``set_initial_pacing_rate``.
 """
 
+from typing import Any
+
 from repro.quic.cc.base import CongestionController
 from repro.quic.cc.bbr import BbrSender
 from repro.quic.cc.cubic import CubicSender
@@ -23,7 +25,7 @@ CONTROLLERS = {
 }
 
 
-def make_controller(name: str, **kwargs) -> CongestionController:
+def make_controller(name: str, **kwargs: Any) -> CongestionController:
     """Instantiate a controller by name (``bbr``/``cubic``/``reno``)."""
     try:
         cls = CONTROLLERS[name]

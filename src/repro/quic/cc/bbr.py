@@ -27,6 +27,7 @@ from __future__ import annotations
 import enum
 from typing import List, Optional
 
+from repro import sanitize as _sanitize
 from repro.quic.cc.bandwidth_sampler import BandwidthSampler
 from repro.quic.cc.base import CongestionController, DEFAULT_MSS
 from repro.quic.cc.windowed_filter import WindowedFilter
@@ -210,6 +211,13 @@ class BbrSender(CongestionController):
     # ------------------------------------------------------------------
     # Internals
 
+    def _set_mode(self, mode: BbrMode, now: float) -> None:
+        """Single funnel for mode changes — the sanitizer's attach point
+        for the BBR state-machine legality invariant."""
+        if _sanitize.ACTIVE is not None:
+            _sanitize.ACTIVE.check_bbr_transition(self.mode, mode, now)
+        self.mode = mode
+
     def _maybe_exit_recovery(self, acked: List[SentPacket]) -> None:
         if self._end_recovery_at is None:
             return
@@ -235,7 +243,7 @@ class BbrSender(CongestionController):
         if self.mode == BbrMode.STARTUP:
             self._check_full_bandwidth()
             if self.full_bandwidth_reached:
-                self.mode = BbrMode.DRAIN
+                self._set_mode(BbrMode.DRAIN, now)
                 self.pacing_gain = DRAIN_GAIN
                 self.cwnd_gain = HIGH_GAIN
         if self.mode == BbrMode.DRAIN:
@@ -265,7 +273,7 @@ class BbrSender(CongestionController):
             self.full_bandwidth_reached = True
 
     def _enter_probe_bw(self, now: float) -> None:
-        self.mode = BbrMode.PROBE_BW
+        self._set_mode(BbrMode.PROBE_BW, now)
         self.cwnd_gain = PROBE_BW_CWND_GAIN
         # Start in a random-ish but deterministic phase that is not the
         # 0.75 drain phase (mirrors Chromium's choice of excluding it).
@@ -296,7 +304,7 @@ class BbrSender(CongestionController):
             self._cycle_start = now
 
     def _enter_probe_rtt(self, now: float) -> None:
-        self.mode = BbrMode.PROBE_RTT
+        self._set_mode(BbrMode.PROBE_RTT, now)
         self.pacing_gain = 1.0
         self._probe_rtt_done_time = None
 
@@ -310,6 +318,6 @@ class BbrSender(CongestionController):
             if self.full_bandwidth_reached:
                 self._enter_probe_bw(now)
             else:
-                self.mode = BbrMode.STARTUP
+                self._set_mode(BbrMode.STARTUP, now)
                 self.pacing_gain = HIGH_GAIN
                 self.cwnd_gain = HIGH_GAIN

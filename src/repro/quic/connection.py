@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro import sanitize as _sanitize
 from repro.quic.ack_manager import AckManager
 from repro.quic.cc import make_controller
 from repro.quic.cc.base import CongestionController
@@ -50,7 +51,7 @@ from repro.quic.pacer import Pacer
 from repro.quic.rtt import RttEstimator
 from repro.quic.sent_packet import SentPacket
 from repro.quic.stream import RecvStream, SendStream
-from repro.simnet.engine import EventLoop
+from repro.simnet.engine import Event, EventLoop
 from repro.simnet.link import Datagram
 
 _STREAM_FRAME_OVERHEAD = 40  # header + stream-frame field upper bound
@@ -137,7 +138,9 @@ class Connection:
         self.handshake_mode = handshake_mode
         self._handshake_tags = dict(handshake_tags or {})
         self._send_datagram = send_datagram
-        rng = rng or random.Random(0)
+        # Seeded default is deliberate: the rng only feeds connection-ID
+        # generation, which never influences timing or scheme comparisons.
+        rng = rng or random.Random(0)  # wira-lint: disable=WL002
         self.connection_id = bytes(rng.getrandbits(8) for _ in range(8))
 
         self.rtt = RttEstimator(
@@ -166,7 +169,7 @@ class Connection:
         self._crypto_offset = 0
         self._seen_crypto_offsets: Set[int] = set()
         self._control_queue: List[Frame] = []
-        self._timer = None
+        self._timer: Optional[Event] = None
         self._closed = False
 
         # Handshake state.
@@ -481,6 +484,8 @@ class Connection:
             frames=tuple(frames),
         )
         self._next_packet_number += 1
+        if _sanitize.ACTIVE is not None:
+            _sanitize.ACTIVE.check_packet_sent(self, packet.packet_number, now)
         wire = packet.encode()
         size = len(wire) + self.config.udp_overhead
         sent = SentPacket(

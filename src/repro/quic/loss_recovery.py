@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import sanitize as _sanitize
 from repro.quic.frames import AckFrame
 from repro.quic.rtt import RttEstimator
 from repro.quic.sent_packet import SentPacket
@@ -51,9 +52,13 @@ class LossRecovery:
         self.sent_packets[packet.packet_number] = packet
         if packet.in_flight:
             self.bytes_in_flight += packet.size
+        if _sanitize.ACTIVE is not None:
+            _sanitize.ACTIVE.note_sent_tracked(self, packet.packet_number)
 
     def on_ack_received(self, ack: AckFrame, now: float) -> AckResult:
         """Process an ACK; updates RTT, detects losses, frees state."""
+        if _sanitize.ACTIVE is not None:
+            _sanitize.ACTIVE.check_ack(self, ack, now)
         result = AckResult()
         result.ack_delay = ack.ack_delay_us / 1e6
 

@@ -12,6 +12,8 @@ quantum behaviour) lets short control exchanges go out immediately.
 
 from __future__ import annotations
 
+from repro import sanitize as _sanitize
+
 
 class Pacer:
     """Leaky-bucket packet release scheduler.
@@ -55,6 +57,8 @@ class Pacer:
                 self._tokens + elapsed * self._rate_bps / 8.0,
             )
             self._last_update = now
+        if _sanitize.ACTIVE is not None:
+            _sanitize.ACTIVE.check_pacer(self, now)
 
     def time_until_send(self, size: int, now: float) -> float:
         """Seconds to wait before a ``size``-byte packet may depart.
@@ -75,3 +79,5 @@ class Pacer:
         """
         self._refill(now)
         self._tokens -= size
+        if _sanitize.ACTIVE is not None:
+            _sanitize.ACTIVE.check_pacer(self, now)

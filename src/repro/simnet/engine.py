@@ -29,6 +29,8 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro import sanitize as _sanitize
+
 
 class SimulationError(Exception):
     """Raised for invalid interactions with the event loop."""
@@ -83,6 +85,8 @@ class EventLoop:
     start_time:
         Initial value of the simulated clock, in seconds.
     """
+
+    __slots__ = ("_now", "_heap", "_seq", "_running", "_processed", "_pending")
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
@@ -168,6 +172,10 @@ class EventLoop:
     def _run(self, until: Optional[float], max_events: Optional[int]) -> int:
         if self._running:
             raise SimulationError("event loop is not reentrant")
+        if _sanitize.ACTIVE is not None:
+            # Sanitized runs take a separate loop so the common path below
+            # stays branch-free per event (~0% overhead when disabled).
+            return self._run_checked(until, max_events, _sanitize.ACTIVE)
         self._running = True
         executed = 0
         heap = self._heap
@@ -192,6 +200,53 @@ class EventLoop:
                 entry[3](*entry[4])
                 executed += 1
         finally:
+            self._processed += executed
+            self._running = False
+        return executed
+
+    def _run_checked(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+        sanitizer: "_sanitize.TransportSanitizer",
+    ) -> int:
+        """The :meth:`_run` loop with the clock-monotonicity sanitizer.
+
+        Identical semantics; every popped event is checked against the
+        ``clock_monotonic`` invariant before the clock advances.  The
+        comparison is inlined — :meth:`TransportSanitizer.check_clock`
+        (which raises) only runs on an actual violation — and the
+        per-invariant counter is bulk-updated on exit, keeping the
+        enabled overhead well under the 10% budget.
+        """
+        self._running = True
+        executed = 0
+        heap = self._heap
+        heappop = heapq.heappop
+        try:
+            while heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                entry = heap[0]
+                event = entry[2]
+                if event is not None and event.cancelled:
+                    heappop(heap)
+                    continue
+                when = entry[0]
+                if until is not None and when > until:
+                    break
+                if when < self._now:
+                    sanitizer.check_clock(self._now, when)
+                heappop(heap)
+                self._pending -= 1
+                if event is not None:
+                    event._finished = True
+                self._now = when
+                entry[3](*entry[4])
+                executed += 1
+        finally:
+            counts = sanitizer.checks_run
+            counts["clock_monotonic"] = counts.get("clock_monotonic", 0) + executed
             self._processed += executed
             self._running = False
         return executed

@@ -130,7 +130,10 @@ class Link:
         self.propagation_delay = propagation_delay
         self.buffer_bytes = buffer_bytes
         self.loss_rate = loss_rate
-        self._rng = rng or random.Random(0)
+        # Seeded default keeps zero-argument Links reproducible; sessions
+        # that need independent loss processes pass their own rng (Path
+        # derives one per direction from the session seed).
+        self._rng = rng or random.Random(0)  # wira-lint: disable=WL002
         self.on_deliver = on_deliver
         self.stats = LinkStats()
         self._queue: Deque[Datagram] = deque()

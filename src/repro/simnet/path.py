@@ -88,7 +88,9 @@ class Path:
         conditions: NetworkConditions,
         rng: Optional[random.Random] = None,
     ) -> None:
-        rng = rng or random.Random(0)
+        # Seeded default keeps zero-argument Paths reproducible; replayed
+        # sessions always pass a per-session rng derived from their seed.
+        rng = rng or random.Random(0)  # wira-lint: disable=WL002
         self.loop = loop
         self.conditions = conditions
         reverse_bw = conditions.reverse_bandwidth_bps or conditions.bandwidth_bps

@@ -39,7 +39,10 @@ class ConditionTrace:
         if not points:
             raise ValueError("trace needs at least one point")
         ordered = sorted(points, key=lambda p: p.time)
-        if ordered[0].time != 0.0:
+        # Sentinel check, not arithmetic: segments authored to start the
+        # trace carry a literal 0.0, so exact inequality is the right test
+        # for "does this trace cover t=0".
+        if ordered[0].time != 0.0:  # wira-lint: disable=WL003
             raise ValueError("first trace point must be at time 0")
         self.points: List[TracePoint] = list(ordered)
 

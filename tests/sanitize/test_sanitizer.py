@@ -1,0 +1,445 @@
+"""Tests for the runtime transport sanitizer.
+
+Two layers:
+
+* **violation tests** — deliberately break each invariant through the
+  real transport objects and assert :class:`SanitizerError` carries the
+  right invariant name;
+* **activation tests** — prove the hooks are genuinely live during a
+  sanitized end-to-end session (via ``checks_run`` counters) and
+  genuinely free when disabled.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro import sanitize
+from repro.cdn.origin import Origin
+from repro.cdn.session import StreamingSession
+from repro.core.initializer import Scheme
+from repro.media.source import StreamProfile
+from repro.quic.cc import make_controller
+from repro.quic.cc.bbr import BbrMode, BbrSender
+from repro.quic.config import QuicConfig
+from repro.quic.connection import Connection, Role
+from repro.quic.frames import AckFrame
+from repro.quic.loss_recovery import LossRecovery
+from repro.quic.pacer import Pacer
+from repro.quic.rtt import RttEstimator
+from repro.sanitize import SanitizerError, TransportSanitizer
+from repro.simnet.engine import EventLoop
+from repro.simnet.path import NetworkConditions
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_off_between_tests():
+    """Each test starts from the disabled baseline, whatever WIRA_SANITIZE says."""
+    previous = sanitize.ACTIVE
+    sanitize.disable()
+    yield
+    sanitize.ACTIVE = previous
+
+
+def make_bbr():
+    controller = make_controller("bbr", rtt=RttEstimator(initial_rtt=0.1))
+    assert isinstance(controller, BbrSender)
+    return controller
+
+
+def expect_violation(invariant):
+    return pytest.raises(SanitizerError, match=rf"\[{invariant}\]")
+
+
+# ---------------------------------------------------------------------------
+# clock_monotonic
+
+
+class TestClockMonotonic:
+    def test_past_event_rejected_by_checked_loop(self):
+        loop = EventLoop()
+        loop.call_at(1.0, lambda: None)
+        with sanitize.sanitized() as san:
+            loop.run()
+            assert loop.now == 1.0
+            # call_at refuses past times, so corrupt the heap directly —
+            # the sanitizer is the backstop behind that API guard.
+            heapq.heappush(loop._heap, (0.5, 10_000, None, lambda: None, ()))
+            loop._pending += 1
+            with expect_violation("clock_monotonic"):
+                loop.run()
+            assert san.checks_run["clock_monotonic"] >= 1
+
+    def test_error_carries_invariant_and_time(self):
+        san = TransportSanitizer()
+        with pytest.raises(SanitizerError) as excinfo:
+            san.check_clock(now=2.0, when=1.0)
+        assert excinfo.value.invariant == "clock_monotonic"
+        assert excinfo.value.sim_time == 2.0
+
+    def test_forward_progress_clean(self):
+        loop = EventLoop()
+        ticks = []
+        for t in (0.1, 0.2, 0.3):
+            loop.call_at(t, ticks.append, t)
+        with sanitize.sanitized() as san:
+            loop.run()
+        assert ticks == [0.1, 0.2, 0.3]
+        assert san.checks_run["clock_monotonic"] == 3
+
+
+# ---------------------------------------------------------------------------
+# pacer_tokens
+
+
+class TestPacerTokens:
+    def test_runaway_debt_rejected(self):
+        pacer = Pacer(rate_bps=8e6, burst_bytes=12_520)
+        with sanitize.sanitized():
+            # One unpaced burst is tolerated (handshake packets bypass
+            # the pacer); a second back-to-back mega-send is corruption.
+            with expect_violation("pacer_tokens"):
+                for _ in range(4):
+                    pacer.on_packet_sent(size=30_000, now=0.0)
+
+    def test_nonpositive_rate_rejected(self):
+        pacer = Pacer(rate_bps=8e6)
+        pacer._rate_bps = 0.0  # bypass the set_rate guard
+        with sanitize.sanitized():
+            with expect_violation("pacer_tokens"):
+                pacer.on_packet_sent(size=1_252, now=0.0)
+
+    def test_bounded_debt_tolerated(self):
+        pacer = Pacer(rate_bps=8e6, burst_bytes=12_520)
+        with sanitize.sanitized() as san:
+            pacer.on_packet_sent(size=12_520, now=0.0)  # drain the bucket
+            pacer.on_packet_sent(size=12_520, now=0.0)  # one burst of debt
+            assert san.checks_run["pacer_tokens"] >= 2
+
+    def test_normal_paced_flow_clean(self):
+        pacer = Pacer(rate_bps=8e6)
+        with sanitize.sanitized() as san:
+            now = 0.0
+            for _ in range(50):
+                now += pacer.time_until_send(1_252, now)
+                pacer.on_packet_sent(1_252, now)
+            assert san.checks_run["pacer_tokens"] > 50
+
+
+# ---------------------------------------------------------------------------
+# packet_number_monotonic / cwnd_bounds (Connection send path)
+
+
+def make_connection():
+    loop = EventLoop()
+    return Connection(
+        loop, Role.SERVER, lambda datagram: True, QuicConfig(), rng=random.Random(7)
+    )
+
+
+class TestPacketNumbers:
+    def test_regressed_packet_number_rejected(self):
+        connection = make_connection()
+        with sanitize.sanitized() as san:
+            san.check_packet_sent(connection, 5, now=0.0)
+            with expect_violation("packet_number_monotonic"):
+                san.check_packet_sent(connection, 5, now=0.1)
+
+    def test_error_carries_connection_id(self):
+        connection = make_connection()
+        san = TransportSanitizer()
+        san.check_packet_sent(connection, 3, now=0.0)
+        with pytest.raises(SanitizerError) as excinfo:
+            san.check_packet_sent(connection, 2, now=0.1)
+        assert excinfo.value.invariant == "packet_number_monotonic"
+        assert excinfo.value.connection_id == connection.connection_id
+
+    def test_strictly_increasing_clean(self):
+        connection = make_connection()
+        san = TransportSanitizer()
+        for pn in range(10):
+            san.check_packet_sent(connection, pn, now=pn * 0.01)
+        assert san.checks_run["packet_number_monotonic"] == 10
+
+
+class TestCwndBounds:
+    def test_zero_cwnd_rejected(self):
+        connection = make_connection()
+        connection.cc._cwnd = 0
+        with sanitize.sanitized() as san:
+            with expect_violation("cwnd_bounds"):
+                san.check_packet_sent(connection, 0, now=0.0)
+
+    def test_absurd_cwnd_rejected(self):
+        connection = make_connection()
+        connection.cc._cwnd = sanitize.MAX_CWND_BYTES + 1
+        with sanitize.sanitized() as san:
+            with expect_violation("cwnd_bounds"):
+                san.check_packet_sent(connection, 0, now=0.0)
+
+    def test_single_mss_window_is_legal(self):
+        # Wira's min(FF_Size, BDP) clamp admits one-packet windows; the
+        # sanitizer's floor is deliberately 1 MSS, not LSQUIC's 2.
+        connection = make_connection()
+        connection.cc._cwnd = connection.config.mss
+        san = TransportSanitizer()
+        san.check_packet_sent(connection, 0, now=0.0)
+        assert san.checks_run["cwnd_bounds"] == 1
+
+
+# ---------------------------------------------------------------------------
+# ack_range
+
+
+def forge_ack(largest_acked, ranges):
+    """Build an AckFrame bypassing ``__post_init__`` validation.
+
+    The constructor already rejects malformed frames; the sanitizer is
+    the backstop for frames corrupted after construction (or decoded by
+    a buggy parser), so the fixtures must skip the front-door check.
+    """
+    frame = object.__new__(AckFrame)
+    object.__setattr__(frame, "largest_acked", largest_acked)
+    object.__setattr__(frame, "ack_delay_us", 0)
+    object.__setattr__(frame, "ranges", tuple(ranges))
+    return frame
+
+
+class TestAckRange:
+    def make_recovery_with_sent(self, count=3):
+        recovery = LossRecovery(RttEstimator(initial_rtt=0.1))
+        from repro.quic.sent_packet import SentPacket
+
+        with sanitize.sanitized():
+            for pn in range(count):
+                recovery.on_packet_sent(
+                    SentPacket(packet_number=pn, sent_time=pn * 0.01, size=1_200,
+                               ack_eliciting=True, in_flight=True)
+                )
+        return recovery
+
+    def test_ack_beyond_largest_sent_rejected(self):
+        recovery = self.make_recovery_with_sent(count=1)
+        with sanitize.sanitized():
+            with expect_violation("ack_range"):
+                recovery.on_ack_received(AckFrame(9, 0, ((9, 9),)), now=0.1)
+
+    def test_malformed_range_rejected(self):
+        recovery = self.make_recovery_with_sent()
+        with sanitize.sanitized():
+            with expect_violation("ack_range"):
+                recovery.on_ack_received(forge_ack(2, ((2, 1),)), now=0.1)
+
+    def test_overlapping_ranges_rejected(self):
+        recovery = self.make_recovery_with_sent(count=6)
+        with sanitize.sanitized():
+            with expect_violation("ack_range"):
+                recovery.on_ack_received(AckFrame(5, 0, ((3, 5), (2, 4))), now=0.1)
+
+    def test_leading_range_must_match_largest_acked(self):
+        recovery = self.make_recovery_with_sent()
+        with sanitize.sanitized():
+            with expect_violation("ack_range"):
+                recovery.on_ack_received(forge_ack(2, ((0, 1),)), now=0.1)
+
+    def test_valid_ack_clean(self):
+        recovery = self.make_recovery_with_sent(count=5)
+        with sanitize.sanitized() as san:
+            result = recovery.on_ack_received(AckFrame(4, 0, ((3, 4), (0, 1))), now=0.1)
+        assert len(result.newly_acked) == 4
+        assert san.checks_run["ack_range"] == 1
+
+    def test_suppressed_scope_allows_peer_misbehaviour(self):
+        recovery = self.make_recovery_with_sent(count=1)
+        with sanitize.sanitized():
+            with sanitize.suppressed():
+                result = recovery.on_ack_received(AckFrame(9, 0, ((9, 9),)), now=0.1)
+            assert not result.newly_acked
+            assert sanitize.enabled()  # restored after the scope
+
+
+# ---------------------------------------------------------------------------
+# bbr_transition
+
+
+class TestBbrTransition:
+    def test_skipping_drain_rejected(self):
+        bbr = make_bbr()
+        assert bbr.mode == BbrMode.STARTUP
+        with sanitize.sanitized():
+            with expect_violation("bbr_transition"):
+                bbr._set_mode(BbrMode.PROBE_BW, now=0.0)
+
+    def test_probe_rtt_from_startup_rejected(self):
+        bbr = make_bbr()
+        with sanitize.sanitized():
+            with expect_violation("bbr_transition"):
+                bbr._set_mode(BbrMode.PROBE_RTT, now=0.0)
+
+    def test_legal_walk_clean(self):
+        bbr = make_bbr()
+        with sanitize.sanitized() as san:
+            bbr._set_mode(BbrMode.DRAIN, now=0.0)
+            bbr._set_mode(BbrMode.PROBE_BW, now=0.1)
+            bbr._set_mode(BbrMode.PROBE_RTT, now=10.1)
+            bbr._set_mode(BbrMode.PROBE_BW, now=10.3)
+        assert bbr.mode == BbrMode.PROBE_BW
+        assert san.checks_run["bbr_transition"] == 4
+
+    def test_self_transition_tolerated(self):
+        san = TransportSanitizer()
+        san.check_bbr_transition(BbrMode.STARTUP, BbrMode.STARTUP, now=0.0)
+        assert san.checks_run["bbr_transition"] == 1
+
+    def test_natural_startup_exit_under_sanitizer(self):
+        # Feed a steady full pipe so BBR organically walks
+        # STARTUP -> DRAIN -> PROBE_BW through the production _set_mode
+        # funnel, with the sanitizer watching every edge.
+        from tests.quic.test_bbr import drive
+
+        bbr = BbrSender(rtt=RttEstimator(initial_rtt=0.05), mss=1252)
+        with sanitize.sanitized() as san:
+            drive(bbr, rounds=12)
+        assert bbr.mode == BbrMode.PROBE_BW
+        assert san.checks_run["bbr_transition"] >= 2
+
+
+# ---------------------------------------------------------------------------
+# init_override_once
+
+
+class TestInitOverrideOnce:
+    def test_third_window_override_rejected(self):
+        cc = make_bbr()
+        with sanitize.sanitized():
+            cc.set_initial_window(25_000)  # provisional (pre-parser)
+            cc.set_initial_window(50_000)  # corner-case-1 re-init
+            with expect_violation("init_override_once"):
+                cc.set_initial_window(75_000)
+
+    def test_third_pacing_override_rejected(self):
+        cc = make_bbr()
+        with sanitize.sanitized():
+            cc.set_initial_pacing_rate(4e6)
+            cc.set_initial_pacing_rate(8e6)
+            with expect_violation("init_override_once"):
+                cc.set_initial_pacing_rate(16e6)
+
+    def test_window_and_pacing_counted_separately(self):
+        cc = make_bbr()
+        with sanitize.sanitized() as san:
+            cc.set_initial_window(25_000)
+            cc.set_initial_pacing_rate(4e6)
+            cc.set_initial_window(50_000)
+            cc.set_initial_pacing_rate(8e6)
+        assert san.checks_run["init_override_once"] == 4
+
+
+# ---------------------------------------------------------------------------
+# Activation semantics
+
+
+class TestActivation:
+    def test_disabled_by_default_and_zero_cost_hooks(self):
+        assert not sanitize.enabled()
+        # The same deliberate violations pass silently when disabled:
+        # production tolerance is unchanged, the sanitizer only *adds*.
+        pacer = Pacer(rate_bps=8e6, burst_bytes=12_520)
+        for _ in range(4):
+            pacer.on_packet_sent(size=30_000, now=0.0)
+        cc = make_bbr()
+        for window in (25_000, 50_000, 75_000):
+            cc.set_initial_window(window)
+
+    def test_enable_disable_roundtrip(self):
+        san = sanitize.enable()
+        assert sanitize.enabled() and sanitize.ACTIVE is san
+        sanitize.disable()
+        assert not sanitize.enabled() and sanitize.ACTIVE is None
+
+    def test_sanitized_restores_previous(self):
+        outer = sanitize.enable()
+        with sanitize.sanitized() as inner:
+            assert sanitize.ACTIVE is inner and inner is not outer
+        assert sanitize.ACTIVE is outer
+
+    def test_env_requested(self, monkeypatch):
+        for value, expected in (
+            ("1", True), ("true", True), ("YES", True), ("on", True),
+            ("0", False), ("", False), ("off", False),
+        ):
+            monkeypatch.setenv("WIRA_SANITIZE", value)
+            assert sanitize.env_requested() is expected
+        monkeypatch.delenv("WIRA_SANITIZE")
+        assert sanitize.env_requested() is False
+
+    def test_error_is_an_assertion(self):
+        # Assertion-based harnesses (pytest.raises(AssertionError), CI
+        # wrappers) must catch sanitizer findings without special-casing.
+        assert issubclass(SanitizerError, AssertionError)
+        for invariant in sanitize.INVARIANTS:
+            err = SanitizerError(invariant, "detail", connection_id=b"\x01\x02", sim_time=1.5)
+            assert err.invariant == invariant
+            assert f"[{invariant}]" in str(err)
+
+    def test_unknown_invariant_rejected(self):
+        with pytest.raises(ValueError):
+            SanitizerError("definitely_not_an_invariant", "detail")
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: a sanitized session runs clean and every hook fires.
+
+
+class TestSanitizedSession:
+    def run_session(self, scheme):
+        origin = Origin()
+        origin.add_stream(
+            "demo",
+            StreamProfile(first_frame_target_bytes=66_000, seed=1,
+                          complexity_sigma=0.02, size_jitter=0.02),
+        )
+        session = StreamingSession(
+            conditions=NetworkConditions(
+                bandwidth_bps=8_000_000.0, rtt=0.050, loss_rate=0.0, buffer_bytes=25_000
+            ),
+            scheme=scheme,
+            origin=origin,
+            stream_name="demo",
+            seed=3,
+        )
+        return session.run()
+
+    def test_wira_session_clean_with_all_hooks_live(self):
+        with sanitize.sanitized() as san:
+            result = self.run_session(Scheme.WIRA)
+        assert result.completed and result.ffct is not None
+        # Every invariant's hook must have actually executed: this is
+        # the "verifiably active" acceptance criterion.  bbr_transition
+        # is absent by design — a live-stream session is app-limited and
+        # BBR never leaves STARTUP; its hook is exercised by
+        # TestBbrTransition.test_natural_startup_exit_under_sanitizer.
+        for invariant in (
+            "clock_monotonic",
+            "pacer_tokens",
+            "packet_number_monotonic",
+            "cwnd_bounds",
+            "ack_range",
+            "init_override_once",
+        ):
+            assert san.checks_run.get(invariant, 0) > 0, invariant
+
+    def test_baseline_session_clean(self):
+        with sanitize.sanitized() as san:
+            result = self.run_session(Scheme.BASELINE)
+        assert result.completed
+        assert san.checks_run["clock_monotonic"] > 0
+
+    def test_sanitized_run_matches_unsanitized_metrics(self):
+        plain = self.run_session(Scheme.WIRA)
+        with sanitize.sanitized():
+            checked = self.run_session(Scheme.WIRA)
+        # The sanitizer observes; it must never perturb the simulation.
+        assert checked.ffct == plain.ffct
+        assert checked.final_server_stats.packets_sent == plain.final_server_stats.packets_sent

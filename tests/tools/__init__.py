@@ -1,0 +1,1 @@
+"""Tests for the repo-local tooling (:mod:`tools.wira_lint`)."""

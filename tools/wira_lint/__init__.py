@@ -1,0 +1,42 @@
+"""wira-lint: repo-specific AST determinism linter.
+
+Every figure in this reproduction (Figs 11-15, Table 1) and the PR 1
+disk cache keyed by content hash depend on properties the Python
+toolchain does not enforce:
+
+* **bit-exact determinism** — all randomness must flow through
+  caller-supplied seeded :class:`random.Random` instances and no
+  simulation code may consult the wall clock;
+* **transport invariants** — hot-path classes stay ``__slots__``-packed,
+  merge paths never depend on dict iteration order, and time/rate
+  floats are never compared with ``==``.
+
+``wira-lint`` is a stdlib-only (``ast``) linter encoding those rules:
+
+=======  ==============================================================
+Code     Rule
+=======  ==============================================================
+WL001    no wall-clock reads in simulation code
+WL002    no unseeded / hard-coded-seed randomness in simulation code
+WL003    no float equality on time/rate quantities
+WL004    registered hot-path classes must declare ``__slots__``
+WL005    no dict-order-dependent iteration in merge paths
+WL006    typed zones (quic/, simnet/) require full annotations
+=======  ==============================================================
+
+Violations can be suppressed per line with a trailing pragma::
+
+    rng = rng or random.Random(0)  # wira-lint: disable=WL002
+
+or per file with a standalone pragma line near the top::
+
+    # wira-lint: disable-file=WL003
+
+Run ``python -m tools.wira_lint src/ tests/`` from the repository root;
+see ``--help`` for the JSON reporter and rule selection.
+"""
+
+from tools.wira_lint.engine import Violation, lint_file, lint_paths, lint_source
+from tools.wira_lint.rules import RULES, Rule
+
+__all__ = ["RULES", "Rule", "Violation", "lint_file", "lint_paths", "lint_source"]

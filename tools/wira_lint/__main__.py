@@ -1,0 +1,7 @@
+"""Module entry point for ``python -m tools.wira_lint``."""
+
+import sys
+
+from tools.wira_lint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,459 @@
+"""AST walker, pragma handling, and the six rule implementations."""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from tools.wira_lint.rules import (
+    GLOBAL_RANDOM_FUNCS,
+    MERGE_FUNC_RE,
+    RULES,
+    SLOTS_REGISTRY,
+    TIME_RATE_WORDS,
+    WALL_CLOCK_DATETIME_FUNCS,
+    WALL_CLOCK_TIME_FUNCS,
+)
+
+#: Trailing pragma: ``# wira-lint: disable=WL001,WL003``
+#: Standalone file pragma: ``# wira-lint: disable-file=WL003``
+_PRAGMA_RE = re.compile(r"#\s*wira-lint:\s*disable(?P<scope>-file)?\s*=\s*(?P<codes>[A-Za-z0-9_, ]+)")
+
+#: Code assigned to files the parser rejects; cannot be suppressed.
+PARSE_ERROR_CODE = "WL000"
+
+_SCREAMING_CASE_RE = re.compile(r"^[A-Z][A-Z0-9_]*$")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding, formatted as ``file:line:col: CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _normalise(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def _applicable_rules(path: str, select: Optional[Set[str]]) -> Set[str]:
+    norm = _normalise(path)
+    codes = set()
+    for code, rule in RULES.items():
+        if select is not None and code not in select:
+            continue
+        if any(zone in norm for zone in rule.zone):
+            codes.add(code)
+    return codes
+
+
+def _parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Return (line -> disabled codes, file-wide disabled codes)."""
+    per_line: Dict[int, Set[str]] = {}
+    per_file: Set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        codes = {c.strip().upper() for c in match.group("codes").split(",") if c.strip()}
+        if match.group("scope"):
+            per_file |= codes
+        else:
+            per_line.setdefault(lineno, set()).update(codes)
+    return per_line, per_file
+
+
+# ---------------------------------------------------------------------------
+# Identifier heuristics.
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    """Innermost identifier of a Name/Attribute/Subscript chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        return _terminal_name(node.value)
+    return None
+
+
+def _is_time_rate_identifier(name: Optional[str]) -> bool:
+    if not name:
+        return False
+    return bool(set(name.lower().split("_")) & TIME_RATE_WORDS)
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains; None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_infinity(node: ast.expr) -> bool:
+    """``float("inf")`` / ``math.inf`` / their negations compare exactly."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_infinity(node.operand)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) and node.func.id == "float":
+        if len(node.args) == 1 and isinstance(node.args[0], ast.Constant):
+            value = node.args[0].value
+            return isinstance(value, str) and "inf" in value.lower()
+    dotted = _dotted(node)
+    return dotted in ("math.inf", "math.nan")
+
+
+# ---------------------------------------------------------------------------
+# The visitor.
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: str, active: Set[str]) -> None:
+        self.path = path
+        self.active = active
+        self.violations: List[Violation] = []
+        self._func_stack: List[str] = []
+        # Import tracking: local alias -> canonical module, and names
+        # imported straight into the namespace -> (module, original).
+        self._module_aliases: Dict[str, str] = {}
+        self._from_imports: Dict[str, Tuple[str, str]] = {}
+
+    # -- plumbing ------------------------------------------------------
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        if code in self.active:
+            self.violations.append(
+                Violation(
+                    self.path,
+                    getattr(node, "lineno", 0),
+                    getattr(node, "col_offset", 0),
+                    code,
+                    message,
+                )
+            )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in ("time", "datetime", "random"):
+                self._module_aliases[alias.asname or root] = root
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module:
+            root = node.module.split(".")[0]
+            if root in ("time", "datetime", "random"):
+                for alias in node.names:
+                    self._from_imports[alias.asname or alias.name] = (root, alias.name)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_typed_def(node)
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_typed_def(node)
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    # -- WL001 / WL002: calls ------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_wall_clock(node)
+        self._check_randomness(node)
+        self.generic_visit(node)
+
+    def _resolve_call(self, node: ast.Call) -> Optional[Tuple[str, str]]:
+        """Resolve a call target to ``(module, function)`` for the three
+        tracked stdlib modules, following both import styles."""
+        func = node.func
+        if isinstance(func, ast.Name):
+            imported = self._from_imports.get(func.id)
+            if imported is not None:
+                return imported
+            return None
+        dotted = _dotted(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        module = self._module_aliases.get(head)
+        if module is not None and rest:
+            return module, rest
+        imported = self._from_imports.get(head)
+        if imported is not None and rest:
+            # e.g. ``from datetime import datetime`` then ``datetime.now``.
+            return imported[0], f"{imported[1]}.{rest}"
+        return None
+
+    def _check_wall_clock(self, node: ast.Call) -> None:
+        resolved = self._resolve_call(node)
+        if resolved is None:
+            return
+        module, func = resolved
+        if module == "time" and func in WALL_CLOCK_TIME_FUNCS:
+            self._report(
+                node,
+                "WL001",
+                f"wall-clock read time.{func}(); simulation code must use EventLoop.now",
+            )
+        elif module == "datetime":
+            tail = func.split(".")[-1]
+            if tail in WALL_CLOCK_DATETIME_FUNCS:
+                self._report(
+                    node,
+                    "WL001",
+                    f"wall-clock read datetime {func}(); simulation code must use EventLoop.now",
+                )
+
+    def _check_randomness(self, node: ast.Call) -> None:
+        resolved = self._resolve_call(node)
+        if resolved is None:
+            return
+        module, func = resolved
+        if module != "random":
+            return
+        if func in GLOBAL_RANDOM_FUNCS:
+            self._report(
+                node,
+                "WL002",
+                f"module-level random.{func}() uses the process-global RNG; "
+                "take a seeded random.Random from the caller",
+            )
+        elif func == "Random":
+            if not node.args and not node.keywords:
+                self._report(
+                    node,
+                    "WL002",
+                    "random.Random() without a seed is nondeterministic; "
+                    "require a caller-supplied seeded instance",
+                )
+            elif len(node.args) == 1 and isinstance(node.args[0], ast.Constant):
+                self._report(
+                    node,
+                    "WL002",
+                    f"random.Random({node.args[0].value!r}) hard-codes the seed; "
+                    "require an explicit rng (or pragma-document the fallback)",
+                )
+
+    # -- WL003: float equality -----------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            operands = [node.left] + list(node.comparators)
+            if not any(_is_infinity(op) for op in operands):
+                flagged = self._float_equality_operand(operands)
+                if flagged is not None:
+                    self._report(
+                        node,
+                        "WL003",
+                        f"float equality on time/rate quantity {flagged!r}; "
+                        "compare with a tolerance or restructure",
+                    )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _float_equality_operand(operands: Sequence[ast.expr]) -> Optional[str]:
+        # ALL_CAPS terminal identifiers are named constants (enum members,
+        # wire tags, gain tables): comparing against them is exact by
+        # construction, not an arithmetic float comparison.
+        names = [
+            name
+            for name in (_terminal_name(op) for op in operands)
+            if name is not None and not _SCREAMING_CASE_RE.match(name)
+        ]
+        has_float_literal = any(
+            isinstance(op, ast.Constant) and isinstance(op.value, float) for op in operands
+        )
+        for name in names:
+            if _is_time_rate_identifier(name):
+                return name
+        if has_float_literal and names:
+            # ``x == 0.5``: a float literal against any identifier.
+            return names[0]
+        return None
+
+    # -- WL004: __slots__ registry -------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if node.name in SLOTS_REGISTRY and not self._declares_slots(node):
+            self._report(
+                node,
+                "WL004",
+                f"hot-path class {node.name} must declare __slots__ "
+                "(or use @dataclass(slots=True))",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _declares_slots(node: ast.ClassDef) -> bool:
+        for stmt in node.body:
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        for decorator in node.decorator_list:
+            if isinstance(decorator, ast.Call) and _terminal_name(decorator.func) == "dataclass":
+                for keyword in decorator.keywords:
+                    if (
+                        keyword.arg == "slots"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    ):
+                        return True
+        return False
+
+    # -- WL005: merge-path dict iteration ------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_merge_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_merge_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _in_merge_path(self) -> bool:
+        return any(MERGE_FUNC_RE.search(name) for name in self._func_stack)
+
+    def _check_merge_iteration(self, iter_node: ast.expr) -> None:
+        if "WL005" not in self.active or not self._in_merge_path():
+            return
+        for view_call, sorted_ancestor in self._dict_view_calls(iter_node, False):
+            if sorted_ancestor:
+                continue
+            attr = view_call.func.attr  # type: ignore[attr-defined]
+            base = _terminal_name(view_call.func.value)  # type: ignore[attr-defined]
+            self._report(
+                view_call,
+                "WL005",
+                f"merge path iterates {base or 'a dict'}.{attr}() in insertion "
+                "order; wrap in sorted(...) with an explicit key",
+            )
+
+    def _dict_view_calls(
+        self, node: ast.expr, under_sorted: bool
+    ) -> Iterable[Tuple[ast.Call, bool]]:
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "sorted":
+                for arg in node.args:
+                    yield from self._dict_view_calls(arg, True)
+                return
+            if isinstance(func, ast.Attribute) and func.attr in ("values", "items", "keys"):
+                yield node, under_sorted
+                return
+            for arg in node.args:
+                yield from self._dict_view_calls(arg, under_sorted)
+
+    # -- WL006: typed defs ---------------------------------------------
+
+    def _check_typed_def(self, node: ast.AST) -> None:
+        if "WL006" not in self.active:
+            return
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        args = node.args
+        missing: List[str] = []
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is None and arg.arg not in ("self", "cls"):
+                missing.append(arg.arg)
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        if node.returns is None:
+            missing.append("return type")
+        if missing:
+            self._report(
+                node,
+                "WL006",
+                f"def {node.name} in a typed zone is missing annotations: "
+                + ", ".join(missing),
+            )
+
+
+# ---------------------------------------------------------------------------
+# Entry points.
+
+
+def lint_source(
+    source: str, path: str, select: Optional[Set[str]] = None
+) -> List[Violation]:
+    """Lint one unit of source as if it lived at ``path``."""
+    active = _applicable_rules(path, select)
+    if not active:
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Violation(path, exc.lineno or 0, exc.offset or 0, PARSE_ERROR_CODE, f"parse error: {exc.msg}")
+        ]
+    per_line, per_file = _parse_pragmas(source)
+    checker = _Checker(path, active)
+    checker.visit(tree)
+    kept = []
+    for violation in checker.violations:
+        if violation.code in per_file:
+            continue
+        if violation.code in per_line.get(violation.line, ()):
+            continue
+        kept.append(violation)
+    return kept
+
+
+def lint_file(path: str, select: Optional[Set[str]] = None) -> List[Violation]:
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Violation(path, 0, 0, PARSE_ERROR_CODE, f"unreadable file: {exc}")]
+    return lint_source(source, path, select)
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                parts = set(sub.parts)
+                if "__pycache__" in parts or any(part.startswith(".") for part in sub.parts):
+                    continue
+                found.append(str(sub))
+        elif p.suffix == ".py":
+            found.append(str(p))
+    return found
+
+
+def lint_paths(
+    paths: Sequence[str], select: Optional[Set[str]] = None
+) -> Tuple[List[Violation], int]:
+    """Lint every ``.py`` under ``paths``; returns (violations, files scanned)."""
+    files = iter_python_files(paths)
+    violations: List[Violation] = []
+    for file_path in files:
+        violations.extend(lint_file(file_path, select))
+    return violations, len(files)

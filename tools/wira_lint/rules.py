@@ -1,0 +1,167 @@
+"""Rule registry: codes, scopes, and the name tables the checkers use.
+
+Scopes map a rule to the portion of the tree it patrols.  Paths are
+matched by substring against a ``/``-normalised path, so the registry
+works both on checkouts (``src/repro/simnet/...``) and on test fixtures
+written to a temporary directory mirroring the layout.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Simulation zone: code that must be bit-exact deterministic.  These are
+#: the packages replayed under the content-hash disk cache; one wall-clock
+#: read or process-global RNG call silently poisons every cached figure.
+SIM_ZONE: Tuple[str, ...] = (
+    "src/repro/simnet",
+    "src/repro/quic",
+    "src/repro/core",
+    "src/repro/workload",
+)
+
+#: Typed zone: packages under the mypy ``disallow_untyped_defs`` contract
+#: (WL006 mirrors it so the contract is enforced even where mypy is not
+#: installed).
+TYPED_ZONE: Tuple[str, ...] = (
+    "src/repro/quic",
+    "src/repro/simnet",
+)
+
+#: Whole-package zone for the style/structure rules.
+SRC_ZONE: Tuple[str, ...] = ("src/repro",)
+
+
+@dataclass(frozen=True)
+class Rule:
+    code: str
+    name: str
+    summary: str
+    zone: Tuple[str, ...]
+
+
+RULES = {
+    "WL001": Rule(
+        "WL001",
+        "no-wall-clock",
+        "simulation code must read EventLoop.now, never the wall clock",
+        SIM_ZONE,
+    ),
+    "WL002": Rule(
+        "WL002",
+        "no-unseeded-random",
+        "randomness must come from a caller-supplied seeded random.Random",
+        SIM_ZONE,
+    ),
+    "WL003": Rule(
+        "WL003",
+        "no-float-equality",
+        "time/rate quantities must not be compared with == / !=",
+        SRC_ZONE,
+    ),
+    "WL004": Rule(
+        "WL004",
+        "hot-path-slots",
+        "registered hot-path classes must declare __slots__",
+        SRC_ZONE,
+    ),
+    "WL005": Rule(
+        "WL005",
+        "deterministic-merge",
+        "merge paths must not iterate dicts in insertion order",
+        SRC_ZONE,
+    ),
+    "WL006": Rule(
+        "WL006",
+        "typed-defs",
+        "typed zones require annotations on every def",
+        TYPED_ZONE,
+    ),
+}
+
+#: ``time`` module functions that read the host clock.
+WALL_CLOCK_TIME_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+        "localtime",
+        "gmtime",
+    }
+)
+
+#: ``datetime`` constructors that read the host clock.
+WALL_CLOCK_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+#: Module-level ``random.*`` functions driven by the process-global RNG.
+GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: Identifier words marking a float as a time/rate quantity for WL003.
+TIME_RATE_WORDS = frozenset(
+    {
+        "bps",
+        "bw",
+        "deadline",
+        "delay",
+        "elapsed",
+        "latency",
+        "now",
+        "rate",
+        "rtt",
+        "seconds",
+        "time",
+        "timeout",
+        "timestamp",
+        "tokens",
+    }
+)
+
+#: Hot-path classes that must stay ``__slots__``-packed (WL004).  These
+#: are allocated per packet or per event; an instance ``__dict__`` on any
+#: of them costs both memory and the BENCH_speed throughput floor.
+SLOTS_REGISTRY = frozenset(
+    {
+        "Datagram",
+        "Event",
+        "EventLoop",
+        "Link",
+        "Pacer",
+        "SentPacket",
+    }
+)
+
+#: Functions treated as merge paths for WL005: anywhere parallel shards
+#: are recombined, iteration order must come from an explicit sort key,
+#: never from dict insertion order (which differs shard-by-shard).
+MERGE_FUNC_RE = re.compile(r"(?:^|_)(merge|replay|aggregate|combine|reduce|recombine)", re.I)
