@@ -7,8 +7,9 @@ from repro.experiments.fig11 import PERCENTILES
 from repro.metrics.report import Table, format_ms, format_pct
 
 
-def test_bench_fig11_overall_ffct(once):
+def test_bench_fig11_overall_ffct(once, print_phase_table):
     result = once(fig11.run)
+    print_phase_table("Fig 11")
 
     table = Table(
         "Fig 11 — FFCT of all live streams (paper baseline 158.9ms avg / 409.6ms p90)",

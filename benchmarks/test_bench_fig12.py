@@ -8,8 +8,9 @@ from repro.metrics.report import Table, format_ms, format_pct
 from repro.quic.connection import HandshakeMode
 
 
-def test_bench_fig12_zero_vs_one_rtt(once):
+def test_bench_fig12_zero_vs_one_rtt(once, print_phase_table):
     result = once(fig12.run)
+    print_phase_table("Fig 12")
 
     for mode, paper_note in (
         (HandshakeMode.ZERO_RTT, "paper: base 169.0ms, Wira 152.9ms (-9.5%)"),

@@ -19,8 +19,9 @@ def _print_dimension(bucketed, title):
     table.print()
 
 
-def test_bench_fig13_conditional_benefits(once):
+def test_bench_fig13_conditional_benefits(once, print_phase_table):
     result = once(fig13.run)
+    print_phase_table("Fig 13")
 
     _print_dimension(result.by_ff, "Fig 13(a) — by FF_Size (KB); paper: gains grow with FF")
     _print_dimension(result.by_rtt, "Fig 13(b) — by MinRTT (ms); paper: degrade beyond 100ms")

@@ -7,8 +7,9 @@ from repro.metrics.report import Table, format_pct
 from repro.quic.connection import HandshakeMode
 
 
-def test_bench_fig14_first_frame_loss_rate(once):
+def test_bench_fig14_first_frame_loss_rate(once, print_phase_table):
     result = once(fig14.run)
+    print_phase_table("Fig 14")
 
     table = Table(
         "Fig 14 — FFLR (paper: baseline 8.8% avg / 25.3% p90; Wira 6.4% / 16.6%)",

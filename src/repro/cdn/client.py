@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro import obs as _obs
 from repro.cdn.playback import PlaybackPolicy, FIRST_VIDEO_FRAME
 from repro.core.transport_cookie import ClientCookieStore, encode_hqst
 from repro.media import flv
@@ -90,6 +91,10 @@ class WiraClient:
     def wall_clock(self) -> float:
         return self.clock_offset + self.loop.now
 
+    def _trace(self, name: str, data: dict) -> None:
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(self.loop.now, name, self.connection._trace_id, data)
+
     # ------------------------------------------------------------------
 
     @staticmethod
@@ -111,6 +116,7 @@ class WiraClient:
         """Launch the handshake and send the play request."""
         self.connection.start()
         self.metrics.request_sent_at = self.loop.now
+        self._trace("session:request_sent", {"stream": self.stream_name})
         request = f"GET /live/{self.stream_name}.flv\r\n".encode("ascii")
         self.connection.send_stream_data(0, request, fin=True)
 
@@ -121,12 +127,14 @@ class WiraClient:
             return
         if self.metrics.first_byte_at is None:
             self.metrics.first_byte_at = self.loop.now
+            self._trace("session:first_byte", {})
         self.metrics.bytes_received += len(data)
         for tag in self._demuxer.feed(data):
             if not tag.is_video:
                 continue
             self._video_frames_seen += 1
             self.metrics.video_frame_times.append(self.loop.now)
+            self._trace("session:video_frame", {"k": self._video_frames_seen})
             if self.on_video_frame is not None:
                 self.on_video_frame(self._video_frames_seen)
             if (
@@ -134,14 +142,20 @@ class WiraClient:
                 and self.metrics.first_frame_at is None
             ):
                 self.metrics.first_frame_at = self.loop.now
+                self._trace(
+                    "session:first_frame",
+                    {"k": self._video_frames_seen, "ffct": self.metrics.ffct},
+                )
                 if self.on_first_frame is not None:
                     self.on_first_frame()
             if self._video_frames_seen >= self.target_video_frames and not self.done:
                 self.done = True
+                self._trace("session:done", {"frames": self._video_frames_seen})
                 if self.on_done is not None:
                     self.on_done()
 
     def _on_hx_qos(self, frame: HxQosFrame) -> None:
         self.metrics.cookies_received += 1
+        self._trace("wira:cookie_received", {"n": self.metrics.cookies_received})
         if self.cookie_store is not None:
             self.cookie_store.on_hx_qos_frame(self.origin_id, frame, now=self.wall_clock)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs as _obs
 from repro.cdn.origin import Origin
 from repro.core.config import WiraConfig
 from repro.core.frame_perception import FrameParser
@@ -85,6 +86,10 @@ class WiraServer:
         """Server wall time — simulator time plus the session epoch."""
         return self.clock_offset + self.loop.now
 
+    def _trace(self, name: str, data: Dict[str, object]) -> None:
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(self.loop.now, name, self.connection._trace_id, data)
+
     # ------------------------------------------------------------------
     # Handshake: cookie extraction (§IV-B "Lightweight Hx_QoS obtaining")
 
@@ -92,15 +97,31 @@ class WiraServer:
         self.state.measured_rtt = rtt_sample
         hqst = tags.get(TAG_HQST)
         if hqst is None or self.cookie_manager is None:
+            reason = "absent" if hqst is None else "no_manager"
+            self._trace("wira:cookie_miss", {"reason": reason})
             self._start_sync_timer()
             return
         try:
             supported, _received_at_ms, sealed = decode_hqst(hqst)
         except CookieError:
-            supported, sealed = False, None
+            supported, sealed = None, None
+            self._trace("wira:cookie_miss", {"reason": "decode_error"})
         if supported and sealed:
             self.state.cookie_present = True
             self.state.hx_qos = self.cookie_manager.open_echoed(sealed, now=self.wall_clock)
+            if self.state.hx_qos is not None:
+                self._trace(
+                    "wira:cookie_hit",
+                    {
+                        "min_rtt": self.state.hx_qos.min_rtt,
+                        "max_bw_bps": self.state.hx_qos.max_bw_bps,
+                    },
+                )
+            else:
+                self._trace("wira:cookie_miss", {"reason": "stale_or_invalid"})
+        elif supported is not None:
+            reason = "unsupported" if not supported else "no_cookie"
+            self._trace("wira:cookie_miss", {"reason": reason})
         self._start_sync_timer()
 
     # ------------------------------------------------------------------
@@ -135,6 +156,9 @@ class WiraServer:
         return name or None
 
     def _serve(self, stream_id: int, name: str) -> None:
+        self._trace(
+            "wira:request_received", {"stream": name, "stream_id": stream_id}
+        )
         fetch = self.origin.fetch(
             name, join_time=self.wall_clock, max_video_frames=self.max_video_frames
         )
@@ -160,9 +184,15 @@ class WiraServer:
 
     def _deliver_batch(self, stream_id: int, blob: bytes, last: bool) -> None:
         """Parse-then-send, the ngx_quic_send_data integration point."""
+        if self.parser.bytes_fed == 0:
+            self._trace("wira:parse_begin", {"batch_bytes": len(blob)})
         ff_size = self.parser.feed(blob)
         if ff_size is not None and self.state.ff_size is None:
             self.state.ff_size = ff_size
+            self._trace(
+                "wira:parse_complete",
+                {"ff_size": ff_size, "bytes_fed": self.parser.bytes_fed},
+            )
         self._ensure_initialized()
         self.connection.send_stream_data(stream_id, blob, fin=last)
 
@@ -182,6 +212,7 @@ class WiraServer:
                 self.connection.cc.set_initial_pacing_rate(
                     self.initial_params_override.pacing_bps
                 )
+                self._trace_init(self.initial_params_override, reinit=False)
             return
         if state.initial_params is not None and not state.initial_params.provisional:
             return
@@ -199,6 +230,23 @@ class WiraServer:
         state.initial_params = params
         self.connection.cc.set_initial_window(params.cwnd_bytes)
         self.connection.cc.set_initial_pacing_rate(params.pacing_bps)
+        self._trace_init(params, reinit=state.reinitialized)
+
+    def _trace_init(self, params: InitialParams, reinit: bool) -> None:
+        """Emit the two Wira init-override events as applied."""
+        self._trace(
+            "wira:init_cwnd",
+            {
+                "bytes": params.cwnd_bytes,
+                "used_ff_size": params.used_ff_size,
+                "provisional": params.provisional,
+                "reinit": reinit,
+            },
+        )
+        self._trace(
+            "wira:init_pacing",
+            {"bps": params.pacing_bps, "used_hx_qos": params.used_hx_qos},
+        )
 
     # ------------------------------------------------------------------
     # Periodic Hx_QoS synchronisation (§IV-B)

@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
+from repro import obs as _obs
 from repro.cdn.client import ClientMetrics, WiraClient
 from repro.cdn.origin import Origin
 from repro.cdn.playback import PlaybackPolicy, FIRST_VIDEO_FRAME
@@ -56,6 +57,9 @@ class SessionResult:
     used_cookie: bool = False
     server_min_rtt: Optional[float] = None
     server_max_bw: Optional[float] = None
+    #: FFCT decomposed into phases — populated only when the session ran
+    #: under an active trace bus (``WIRA_TRACE=1``), ``None`` otherwise.
+    phase_breakdown: Optional[_obs.PhaseBreakdown] = None
 
     @property
     def ffct(self) -> Optional[float]:
@@ -104,6 +108,7 @@ class StreamingSession:
         timeout: float = 30.0,
         client_supports_cookies: bool = True,
         initial_params_override: Optional[InitialParams] = None,
+        trace_label: Optional[str] = None,
     ) -> None:
         self.conditions = conditions
         self.scheme = scheme
@@ -120,6 +125,7 @@ class StreamingSession:
         self.timeout = timeout
         self.client_supports_cookies = client_supports_cookies
         self.initial_params_override = initial_params_override
+        self.trace_label = trace_label
         if cookie_manager is not None:
             self.cookie_manager = cookie_manager
         else:
@@ -128,6 +134,16 @@ class StreamingSession:
             )
 
     def run(self) -> SessionResult:
+        bus = _obs.ACTIVE
+        if bus is None:
+            return self._run()
+        label = self.trace_label or f"{self.scheme.value}-seed{self.seed}"
+        with bus.session(label) as events:
+            result = self._run()
+        result.phase_breakdown = _obs.profile_events(events)
+        return result
+
+    def _run(self) -> SessionResult:
         loop = EventLoop()
         rng = random.Random(self.seed)
         path = Path(loop, self.conditions, rng=random.Random(rng.getrandbits(48)))

@@ -108,6 +108,7 @@ def _run_chain(
             epoch=spec.epoch,
             seed=spec.seed,
             target_video_frames=config.video_frames_per_session,
+            trace_label=f"{scheme.value}-c{chain_index}-s{spec.session_index}",
         )
         outcomes.append(SessionOutcome(spec, session.run()))
     return outcomes

@@ -37,9 +37,11 @@ import os
 import pickle
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import ContextManager, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs as _obs
 from repro.core.config import WiraConfig
 from repro.core.initializer import Scheme
 from repro.workload.population import Deployment, DeploymentConfig, SessionSpec
@@ -48,7 +50,8 @@ logger = logging.getLogger(__name__)
 
 #: Bump when the serialized record layout (or replay semantics not
 #: captured by the source fingerprint) changes incompatibly.
-CACHE_FORMAT_VERSION = 1
+#: 2: SessionResult gained ``phase_breakdown``.
+CACHE_FORMAT_VERSION = 2
 
 _MEMORY_CACHE: Dict[tuple, "DeploymentRecords"] = {}
 
@@ -73,14 +76,32 @@ def _replay_unit(unit: Tuple[str, int]):
     from repro.experiments.common import _run_chain
 
     scheme_value, chain_index = unit
-    outcomes = _run_chain(
-        Scheme(scheme_value),
-        _WORKER_STATE["chains"][chain_index],
-        chain_index,
-        _WORKER_STATE["config"],
-        _WORKER_STATE["wira_config"],
-    )
+    with _trace_shard(scheme_value, chain_index):
+        outcomes = _run_chain(
+            Scheme(scheme_value),
+            _WORKER_STATE["chains"][chain_index],
+            chain_index,
+            _WORKER_STATE["config"],
+            _WORKER_STATE["wira_config"],
+        )
     return scheme_value, chain_index, outcomes
+
+
+def _trace_shard(scheme_value: str, chain_index: int) -> ContextManager[None]:
+    """Scope one (scheme, chain) work unit's trace output to a shard dir.
+
+    Both the serial path and the pool workers run every unit through the
+    same shard layout, so the on-disk trace set is byte-identical however
+    the replay was parallelised (``merge_shard_traces`` recombines it).
+    """
+    bus = _obs.ACTIVE
+    if bus is None or bus.trace_dir is None:
+        return nullcontext()
+    return bus.shard(f"{scheme_value}-c{chain_index}")
+
+
+def _tracing_to_disk() -> bool:
+    return _obs.ACTIVE is not None and _obs.ACTIVE.trace_dir is not None
 
 
 # ---------------------------------------------------------------------------
@@ -267,6 +288,13 @@ def run_deployment(
         tuple(sorted(vars(config).items())),
         tuple(sorted(vars(wira_config).items())),
     )
+    if _tracing_to_disk():
+        # A cache hit would skip the replay — and with it the trace
+        # files the caller asked for.  Replay for real, without
+        # poisoning the caches with this run's breakdown-carrying
+        # records (callers not tracing should keep hitting the
+        # breakdown-free cached records).
+        use_cache = False
     if use_cache and memo_key in _MEMORY_CACHE:
         return _MEMORY_CACHE[memo_key]
 
@@ -279,6 +307,9 @@ def run_deployment(
             return records
 
     records = _replay(config, schemes, wira_config, resolve_jobs(jobs))
+    if _tracing_to_disk():
+        assert _obs.ACTIVE is not None and _obs.ACTIVE.trace_dir is not None
+        _obs.merge_shard_traces(_obs.ACTIVE.trace_dir)
 
     if use_cache:
         _MEMORY_CACHE[memo_key] = records
@@ -317,9 +348,10 @@ def _replay_serial(
     records: "DeploymentRecords" = {scheme: [] for scheme in schemes}
     for scheme in schemes:
         for chain_index, chain in enumerate(chains):
-            records[scheme].extend(
-                _run_chain(scheme, chain, chain_index, config, wira_config)
-            )
+            with _trace_shard(scheme.value, chain_index):
+                records[scheme].extend(
+                    _run_chain(scheme, chain, chain_index, config, wira_config)
+                )
     return records
 
 

@@ -33,16 +33,24 @@ class MetricSeries:
     def cdf(self) -> Cdf:
         return Cdf(self.samples)
 
-    def improvement_over(self, other: "MetricSeries", q: Optional[float] = None) -> float:
+    def improvement_over(
+        self, other: "MetricSeries", q: Optional[float] = None
+    ) -> Optional[float]:
         """Optimisation ratio vs. a baseline series (positive = better).
 
         ``q=None`` compares averages; otherwise the q-th percentiles.
         Matches the paper's "optimization ratio": (base − ours) / base.
+        Returns ``None`` — rendered as ``-`` by ``format_pct`` — when the
+        ratio is undefined: either series empty, or the baseline zero.
+        A silent ``0.0`` here used to make an incomparable pair look like
+        "no improvement".
         """
+        if not self.samples or not other.samples:
+            return None
         ours = self.avg if q is None else self.p(q)
         base = other.avg if q is None else other.p(q)
         if base == 0:
-            return 0.0
+            return None
         return (base - ours) / base
 
 

@@ -1,0 +1,180 @@
+"""FFCT phase profiler: decompose first-frame delay into paper phases.
+
+The paper's headline metric — first-frame completion time — is measured
+end-to-end on the client.  This module splits it into the phases the
+paper's mechanisms act on, using the trace-bus events of one session:
+
+``handshake``
+    Request sent → server handshake complete.  Includes the uplink
+    propagation and, on the 1-RTT path, the REJ round trip the server
+    uses to measure an accurate init RTT (§VI).
+``request``
+    Server handshake complete → play request parsed on the server.
+    ~0 for 0-RTT sessions, whose request rides with the CHLO.
+``origin``
+    Request parsed → first stream-data packet leaves the server.
+    Origin frame availability plus Frame Perception parsing.
+``transmit``
+    First data packet out → Θ_VF-th video frame complete on the client,
+    *minus* retransmit stalls.  This is the phase Wira's ``init_cwnd``
+    and ``init_pacing`` overrides compress.
+``stalls``
+    Within the transmit window, time between a loss declaration (or
+    PTO) on the server and its next transmission — the retransmission
+    stalls Fig 14's FFLR correlates with.
+
+``handshake + request + origin + transmit + stalls == FFCT`` by
+construction; :func:`profile_events` returns ``None`` when a session
+did not complete (no first frame) or the trace is missing milestones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.events import TraceEvent
+
+#: Phase names in presentation (and chronological) order.
+PHASES: Tuple[str, ...] = ("handshake", "request", "origin", "transmit", "stalls")
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """One session's FFCT split into the paper's phases (seconds)."""
+
+    handshake: float
+    request: float
+    origin: float
+    transmit: float
+    stalls: float
+
+    @property
+    def total(self) -> float:
+        """Sums back to the session's FFCT."""
+        return self.handshake + self.request + self.origin + self.transmit + self.stalls
+
+    def phase(self, name: str) -> float:
+        if name not in PHASES:
+            raise KeyError(f"unknown phase {name!r}")
+        return float(getattr(self, name))
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: self.phase(name) for name in PHASES}
+
+
+def profile_events(events: Sequence[TraceEvent]) -> Optional[PhaseBreakdown]:
+    """Compute a :class:`PhaseBreakdown` from one session's trace events.
+
+    ``events`` is the in-memory tuple stream a
+    :meth:`~repro.obs.bus.TraceBus.session` scope collected (time-ordered).
+    Returns ``None`` when the milestones needed to anchor the phases are
+    absent — e.g. the session timed out before the first frame.
+    """
+    t_request: Optional[float] = None
+    t_first_frame: Optional[float] = None
+    t_server_handshake: Optional[float] = None
+    t_request_received: Optional[float] = None
+    server_conn: Optional[str] = None
+
+    for time, name, conn, data in events:
+        if name == "session:request_sent" and t_request is None:
+            t_request = time
+        elif name == "wira:request_received" and t_request_received is None:
+            t_request_received = time
+            server_conn = conn
+        elif name == "session:first_frame" and t_first_frame is None:
+            t_first_frame = time
+
+    if t_request is None or t_first_frame is None or server_conn is None:
+        return None
+    assert t_request_received is not None
+
+    t_first_send: Optional[float] = None
+    for time, name, conn, data in events:
+        if conn != server_conn:
+            continue
+        if name == "transport:handshake_complete" and t_server_handshake is None:
+            t_server_handshake = time
+        elif (
+            name == "transport:packet_sent"
+            and t_first_send is None
+            and data.get("stream_data")
+        ):
+            t_first_send = time
+    if t_server_handshake is None or t_first_send is None:
+        return None
+
+    stalls = _stall_time(events, server_conn, t_first_send, t_first_frame)
+    handshake = max(0.0, t_server_handshake - t_request)
+    request = max(0.0, t_request_received - t_server_handshake)
+    origin = max(0.0, t_first_send - t_request_received)
+    transmit = max(0.0, t_first_frame - t_first_send - stalls)
+    return PhaseBreakdown(handshake, request, origin, transmit, stalls)
+
+
+def _stall_time(
+    events: Sequence[TraceEvent],
+    server_conn: str,
+    window_start: float,
+    window_end: float,
+) -> float:
+    """Retransmit-stall seconds inside the first-frame transmit window.
+
+    A stall opens when the server declares loss (packet threshold, time
+    threshold or PTO) and closes at its next transmission; overlapping
+    stall intervals are merged before summing so double-declared losses
+    are not double-counted.
+    """
+    intervals: List[Tuple[float, float]] = []
+    open_at: Optional[float] = None
+    for time, name, conn, _data in events:
+        if conn != server_conn:
+            continue
+        if time > window_end:
+            break
+        if name in ("transport:packet_lost", "recovery:pto_fired"):
+            if time >= window_start and open_at is None:
+                open_at = time
+        elif name == "transport:packet_sent" and open_at is not None:
+            intervals.append((open_at, min(time, window_end)))
+            open_at = None
+    if open_at is not None:
+        intervals.append((open_at, window_end))
+
+    total = 0.0
+    current_start: Optional[float] = None
+    current_end = 0.0
+    for start, end in sorted(intervals):
+        if current_start is None or start > current_end:
+            if current_start is not None:
+                total += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    if current_start is not None:
+        total += current_end - current_start
+    return total
+
+
+def profile_records(records: Iterable[Dict[str, object]]) -> Optional[PhaseBreakdown]:
+    """:func:`profile_events` over decoded JSONL records.
+
+    Accepts the merged record stream of one session (any number of
+    connections, ``trace:meta`` preambles included) and normalises it to
+    the in-memory tuple shape.  Records are re-sorted by time so
+    concatenating per-connection files in any order is fine.
+    """
+    events: List[TraceEvent] = []
+    for record in records:
+        name = record.get("name")
+        if not isinstance(name, str) or name == "trace:meta":
+            continue
+        time = record.get("time")
+        data = record.get("data")
+        if not isinstance(time, (int, float)) or not isinstance(data, dict):
+            continue
+        conn = str(data.get("conn", ""))
+        events.append((float(time), name, conn, data))
+    events.sort(key=lambda e: e[0])
+    return profile_events(events)

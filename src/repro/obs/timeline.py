@@ -1,0 +1,128 @@
+"""ASCII rendering of FFCT phase breakdowns.
+
+Turns "Wira saves X ms" into "Wira saves X ms, of which Y ms from cwnd
+init and Z ms from pacing init": per-scheme mean phase tables for the
+Fig 11–15 replays, and a proportional timeline strip per scheme::
+
+    Baseline |hhhh|oo|tttttttttttttttttt|ssss|  169.0ms
+    Wira     |hhhh|oo|ttttttttt|                152.9ms
+
+Phases: h=handshake, r=request, o=origin, t=transmit, s=stalls (see
+:mod:`repro.obs.profiler`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.metrics.report import Table, format_ms
+from repro.metrics.stats import mean
+from repro.obs.profiler import PHASES, PhaseBreakdown
+
+#: One glyph per phase, in chronological order.
+PHASE_GLYPHS: Tuple[Tuple[str, str], ...] = (
+    ("handshake", "h"),
+    ("request", "r"),
+    ("origin", "o"),
+    ("transmit", "t"),
+    ("stalls", "s"),
+)
+
+
+def mean_breakdown(
+    breakdowns: Iterable[Optional[PhaseBreakdown]],
+) -> Optional[PhaseBreakdown]:
+    """Phase-wise mean over the sessions that produced a breakdown."""
+    complete = [b for b in breakdowns if b is not None]
+    if not complete:
+        return None
+    return PhaseBreakdown(
+        **{name: mean([b.phase(name) for b in complete]) for name in PHASES}
+    )
+
+
+def phase_table(
+    by_scheme: Dict[str, Optional[PhaseBreakdown]],
+    title: str = "FFCT phase breakdown (mean per session)",
+    baseline: Optional[str] = None,
+) -> Table:
+    """Per-scheme mean phase table, with per-phase savings vs a baseline.
+
+    ``by_scheme`` maps a display name to a mean breakdown (``None`` rows
+    render as dashes).  When ``baseline`` names a key with a breakdown,
+    a delta row per scheme attributes the total saving to phases.
+    """
+    table = Table(title, ["scheme", *PHASES, "total"])
+    base = by_scheme.get(baseline) if baseline is not None else None
+    for scheme_name, breakdown in by_scheme.items():
+        if breakdown is None:
+            table.add_row(scheme_name, *(["-"] * (len(PHASES) + 1)))
+            continue
+        table.add_row(
+            scheme_name,
+            *(format_ms(breakdown.phase(name)) for name in PHASES),
+            format_ms(breakdown.total),
+        )
+        if base is not None and scheme_name != baseline:
+            deltas = [breakdown.phase(name) - base.phase(name) for name in PHASES]
+            table.add_row(
+                f"  vs {baseline}",
+                *(f"{d * 1000:+.1f}ms" for d in deltas),
+                f"{(breakdown.total - base.total) * 1000:+.1f}ms",
+            )
+    return table
+
+
+def render_timeline(
+    by_scheme: Dict[str, Optional[PhaseBreakdown]], width: int = 64
+) -> str:
+    """Proportional ASCII strip per scheme, common time scale."""
+    complete = {k: v for k, v in by_scheme.items() if v is not None}
+    if not complete:
+        return "(no phase breakdowns — run with WIRA_TRACE=1)"
+    scale_max = max(b.total for b in complete.values())
+    if scale_max <= 0:
+        return "(all breakdowns empty)"
+    label_width = max(len(k) for k in by_scheme)
+    lines: List[str] = []
+    for scheme_name, breakdown in by_scheme.items():
+        if breakdown is None:
+            lines.append(f"{scheme_name.ljust(label_width)} (no breakdown)")
+            continue
+        strip = "".join(
+            glyph * max(1 if breakdown.phase(name) > 0 else 0,
+                        round(breakdown.phase(name) / scale_max * width))
+            for name, glyph in PHASE_GLYPHS
+        )
+        lines.append(
+            f"{scheme_name.ljust(label_width)} |{strip}|  {format_ms(breakdown.total)}"
+        )
+    legend = "  ".join(f"{glyph}={name}" for name, glyph in PHASE_GLYPHS)
+    lines.append(f"{' ' * label_width} [{legend}]")
+    return "\n".join(lines)
+
+
+def deployment_phase_table(
+    records: Dict[object, Sequence[object]],
+    title: str = "FFCT phase breakdown (mean per session)",
+) -> Optional[Table]:
+    """Phase table straight off ``DeploymentRecords``.
+
+    Reads ``outcome.result.phase_breakdown`` per scheme — populated when
+    sessions ran under an active trace bus (``WIRA_TRACE=1``); returns
+    ``None`` when no session carries a breakdown, so figure benchmarks
+    can print it opportunistically.
+    """
+    by_scheme: Dict[str, Optional[PhaseBreakdown]] = {}
+    baseline_name: Optional[str] = None
+    for scheme, outcomes in records.items():
+        display = getattr(scheme, "display_name", str(scheme))
+        breakdowns = [
+            getattr(outcome.result, "phase_breakdown", None) for outcome in outcomes
+        ]
+        by_scheme[display] = mean_breakdown(breakdowns)
+        if getattr(scheme, "value", None) == "baseline":
+            baseline_name = display
+    if all(v is None for v in by_scheme.values()):
+        return None
+    return phase_table(by_scheme, title=title, baseline=baseline_name)

@@ -29,6 +29,11 @@ class CongestionController(abc.ABC):
     :attr:`pacing_rate_bps` (bits/second); the connection enforces both.
     """
 
+    #: Hex id of the owning connection, set by ``Connection.__init__`` so
+    #: controller-level trace events (e.g. BBR mode transitions) can be
+    #: attributed without a back-reference cycle.
+    _trace_conn: str = ""
+
     def __init__(
         self,
         rtt: RttEstimator,

@@ -27,6 +27,7 @@ from __future__ import annotations
 import enum
 from typing import List, Optional
 
+from repro import obs as _obs
 from repro import sanitize as _sanitize
 from repro.quic.cc.bandwidth_sampler import BandwidthSampler
 from repro.quic.cc.base import CongestionController, DEFAULT_MSS
@@ -216,6 +217,13 @@ class BbrSender(CongestionController):
         for the BBR state-machine legality invariant."""
         if _sanitize.ACTIVE is not None:
             _sanitize.ACTIVE.check_bbr_transition(self.mode, mode, now)
+        if _obs.ACTIVE is not None and mode != self.mode:
+            _obs.ACTIVE.emit(
+                now,
+                "bbr:state_updated",
+                self._trace_conn,
+                {"old": self.mode.value, "new": mode.value},
+            )
         self.mode = mode
 
     def _maybe_exit_recovery(self, acked: List[SentPacket]) -> None:

@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro import obs as _obs
 from repro import sanitize as _sanitize
 from repro.quic.ack_manager import AckManager
 from repro.quic.cc import make_controller
@@ -142,6 +143,10 @@ class Connection:
         # generation, which never influences timing or scheme comparisons.
         rng = rng or random.Random(0)  # wira-lint: disable=WL002
         self.connection_id = bytes(rng.getrandbits(8) for _ in range(8))
+        self._trace_id = self.connection_id.hex()
+        # Last (cwnd, pacing) pair the trace bus saw, so the high-volume
+        # recovery:metrics_updated event only fires on actual change.
+        self._last_traced_metrics: Tuple[int, float] = (-1, -1.0)
 
         self.rtt = RttEstimator(
             initial_rtt=self.config.initial_rtt,
@@ -153,6 +158,7 @@ class Connection:
             mss=self.config.mss,
             initial_window_packets=self.config.initial_window_packets,
         )
+        self.cc._trace_conn = self._trace_id
         self.pacer = Pacer(
             rate_bps=self.cc.pacing_rate_bps,
             burst_bytes=self.config.pacer_burst_packets * self.config.mss,
@@ -244,6 +250,13 @@ class Connection:
         packet = Packet.decode(datagram.payload)
         self.stats.packets_received += 1
         now = self.loop.now
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                now,
+                "transport:packet_received",
+                self._trace_id,
+                {"pn": packet.packet_number, "size": datagram.size, "role": self.role.value},
+            )
         duplicate = self.ack_manager.on_packet_received(
             packet.packet_number, packet.ack_eliciting(), now
         )
@@ -275,7 +288,39 @@ class Connection:
             self._handle_losses(result.newly_lost, now)
         if result.newly_acked:
             self.cc.on_packets_acked(result.newly_acked, self.bytes_in_flight, now)
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.emit(
+                    now,
+                    "transport:packet_acked",
+                    self._trace_id,
+                    {"pns": [p.packet_number for p in result.newly_acked]},
+                )
+                self._trace_cc_metrics(now)
         self.stats.pto_count = max(self.stats.pto_count, self.loss_recovery.pto_count)
+
+    def _trace_cc_metrics(self, now: float) -> None:
+        """Emit ``recovery:metrics_updated`` when cwnd/pacing changed.
+
+        Callers hold the ``_obs.ACTIVE`` guard; deduplicating here keeps
+        the high-volume event proportional to actual controller updates.
+        """
+        bus = _obs.ACTIVE
+        if bus is None:
+            return
+        metrics = (self.cc.congestion_window, self.cc.pacing_rate_bps)
+        if metrics == self._last_traced_metrics:
+            return
+        self._last_traced_metrics = metrics
+        bus.emit(
+            now,
+            "recovery:metrics_updated",
+            self._trace_id,
+            {
+                "cwnd": metrics[0],
+                "pacing_bps": metrics[1],
+                "inflight": self.bytes_in_flight,
+            },
+        )
 
     def _on_crypto(self, frame: CryptoFrame, now: float) -> None:
         if frame.offset in self._seen_crypto_offsets:
@@ -308,6 +353,13 @@ class Connection:
         self.handshake_complete = True
         self.stats.handshake_completed_at = now
         self.stats.handshake_rtt_sample = rtt_sample
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                now,
+                "transport:handshake_complete",
+                self._trace_id,
+                {"role": self.role.value, "rtt_sample": rtt_sample},
+            )
         if self.on_client_hello is not None:
             self.on_client_hello(message.tags, rtt_sample)
         self._queue_crypto(shlo())
@@ -331,6 +383,13 @@ class Connection:
             sample = now - self._chlo_sent_at
             if sample > 0:
                 self.rtt.update(sample, now=now)
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                now,
+                "transport:handshake_complete",
+                self._trace_id,
+                {"role": self.role.value, "rtt_sample": self.rtt.min_rtt},
+            )
         if self.on_handshake_complete is not None:
             self.on_handshake_complete()
 
@@ -356,6 +415,14 @@ class Connection:
                 self.stats.data_packets_lost += 1
             self._requeue_frames(packet)
         self.cc.on_packets_lost(lost, self.bytes_in_flight, now)
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                now,
+                "transport:packet_lost",
+                self._trace_id,
+                {"pns": [p.packet_number for p in lost]},
+            )
+            self._trace_cc_metrics(now)
 
     def _requeue_frames(self, packet: SentPacket) -> None:
         for frame in packet.frames:
@@ -429,6 +496,13 @@ class Connection:
                 wait = self.pacer.time_until_send(self.config.mss, now)
                 if wait > 1e-12:
                     pacing_deadline = now + wait
+                    if _obs.ACTIVE is not None:
+                        _obs.ACTIVE.emit(
+                            now,
+                            "pacer:tokens_depleted",
+                            self._trace_id,
+                            {"wait": wait, "rate_bps": self.cc.pacing_rate_bps},
+                        )
                     break
                 frames: List[Frame] = []
                 if self._control_queue:
@@ -503,8 +577,22 @@ class Connection:
             self.pacer.on_packet_sent(size, now)
         self.stats.packets_sent += 1
         self.stats.bytes_sent += size
-        if any(isinstance(f, StreamFrame) for f in frames):
+        has_stream_data = any(isinstance(f, StreamFrame) for f in frames)
+        if has_stream_data:
             self.stats.data_packets_sent += 1
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                now,
+                "transport:packet_sent",
+                self._trace_id,
+                {
+                    "pn": packet.packet_number,
+                    "size": size,
+                    "type": packet_type.value,
+                    "stream_data": has_stream_data,
+                    "role": self.role.value,
+                },
+            )
         self._send_datagram(Datagram(wire, size=size))
 
     # ------------------------------------------------------------------
@@ -538,6 +626,13 @@ class Connection:
         now = self.loop.now
         lost = self.loss_recovery.check_loss_timer(now)
         if lost:
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.emit(
+                    now,
+                    "recovery:loss_timer_fired",
+                    self._trace_id,
+                    {"n_lost": len(lost)},
+                )
             self._handle_losses(lost, now)
         pto = self.loss_recovery.pto_deadline()
         if pto is not None and pto <= now + 1e-12:
@@ -552,6 +647,13 @@ class Connection:
             return
         probes = self.loss_recovery.on_pto_fired(now)
         self.stats.pto_count = max(self.stats.pto_count, self.loss_recovery.pto_count)
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                now,
+                "recovery:pto_fired",
+                self._trace_id,
+                {"pto_count": self.loss_recovery.pto_count, "n_probes": len(probes)},
+            )
         retransmitted = False
         for packet in probes:
             has_payload = any(

@@ -7,7 +7,7 @@ needed to replay the offending session deterministically and debug it.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 #: Canonical invariant names, mirrored by the unit tests.
 INVARIANTS: Tuple[str, ...] = (
@@ -44,6 +44,17 @@ class SanitizerError(AssertionError):
         self.detail = detail
         self.connection_id = connection_id
         self.sim_time = sim_time
+        # Post-mortem context: when the trace bus is active, capture the
+        # tail of recent transport events leading up to the violation.
+        # Lazy import — obs and sanitize must stay independently loadable.
+        self.trace_tail: List[object] = []
+        try:
+            from repro import obs as _obs
+
+            if _obs.ACTIVE is not None:
+                self.trace_tail = list(_obs.ACTIVE.ring_events())
+        except ImportError:  # pragma: no cover - obs is part of the package
+            pass
         parts = [f"[{invariant}]", detail]
         if connection_id is not None:
             parts.append(f"connection={connection_id.hex()}")

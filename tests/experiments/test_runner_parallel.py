@@ -5,11 +5,13 @@ The parallel path must be *bit-identical* to the serial reference: each
 them across processes may not change a single field of any result.
 """
 
+import hashlib
 import os
 import pickle
 
 import pytest
 
+from repro import obs
 from repro.core.config import WiraConfig
 from repro.core.initializer import Scheme
 from repro.experiments import common, runner
@@ -27,6 +29,15 @@ def isolated_caches(tmp_path, monkeypatch):
     runner.clear_caches()
     yield
     runner.clear_caches()
+
+
+@pytest.fixture
+def no_ambient_tracing():
+    """Start from tracing-off regardless of WIRA_TRACE; restore after."""
+    previous = obs.ACTIVE
+    obs.disable()
+    yield
+    obs.ACTIVE = previous
 
 
 def tiny_config(seed):
@@ -50,6 +61,55 @@ class TestParallelEqualsSerial:
         serial = runner.run_deployment(config, SCHEMES, use_cache=False, jobs=1)
         parallel = runner.run_deployment(config, SCHEMES, use_cache=False, jobs=2)
         assert_records_identical(serial, parallel)
+
+    def test_parallel_matches_serial_traces_bytewise(self, tmp_path):
+        """The trace sets of a serial and a parallel replay are
+        byte-identical: same file names, same SHA-256 per file."""
+        config = tiny_config(3)
+        ambient_bus = obs.ACTIVE  # e.g. installed by WIRA_TRACE=1
+        digests = {}
+        for jobs in (1, 2):
+            trace_dir = tmp_path / f"jobs{jobs}"
+            with obs.tracing(trace_dir=trace_dir):
+                runner.run_deployment(config, SCHEMES, jobs=jobs)
+            assert not (trace_dir / obs.SHARDS_SUBDIR).exists()  # merged away
+            digests[jobs] = {
+                p.name: hashlib.sha256(p.read_bytes()).hexdigest()
+                for p in trace_dir.glob("*.jsonl")
+            }
+        assert obs.ACTIVE is ambient_bus  # scope restored
+        assert digests[1] and digests[1] == digests[2]
+
+    def test_traced_run_bypasses_caches(self, tmp_path, no_ambient_tracing):
+        """Tracing to disk must not serve (or populate) cached records —
+        a cache hit would skip the replay and write no trace files."""
+        config = tiny_config(7)
+        runner.run_deployment(config, SCHEMES)  # populate memo + disk
+        trace_dir = tmp_path / "traces"
+        with obs.tracing(trace_dir=trace_dir):
+            records = runner.run_deployment(config, SCHEMES)
+        assert any(trace_dir.glob("*.jsonl"))
+        assert all(
+            o.result.phase_breakdown is not None
+            for outcomes in records.values()
+            for o in outcomes
+            if o.result.completed
+        )
+        # The cache stays breakdown-free for non-tracing callers.
+        cached = runner.run_deployment(config, SCHEMES)
+        assert all(
+            o.result.phase_breakdown is None
+            for outcomes in cached.values()
+            for o in outcomes
+        )
+
+    def test_memory_only_tracing_keeps_cache_path(self, no_ambient_tracing):
+        """Without a trace_dir there is nothing to flush, so the cache
+        fast path stays active."""
+        config = tiny_config(11)
+        first = runner.run_deployment(config, SCHEMES)
+        with obs.tracing():  # no trace_dir
+            assert runner.run_deployment(config, SCHEMES) is first
 
     def test_parallel_pool_failure_falls_back_to_serial(self, monkeypatch):
         config = tiny_config(5)

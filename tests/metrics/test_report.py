@@ -1,0 +1,88 @@
+"""Tests for the ASCII reporting helpers (``repro.metrics.report``).
+
+Every benchmark table goes through this module, and the trace tooling
+leans on the ``None`` → ``"-"`` convention for missing values, so the
+formatting edges are pinned here.
+"""
+
+import pytest
+
+from repro.metrics.report import Table, format_ms, format_pct
+
+
+class TestFormatMs:
+    def test_converts_seconds_to_milliseconds(self):
+        assert format_ms(0.1425) == "142.5ms"
+
+    def test_rounds_to_one_decimal(self):
+        assert format_ms(0.123456) == "123.5ms"
+
+    def test_none_renders_as_dash(self):
+        assert format_ms(None) == "-"
+
+    def test_zero(self):
+        assert format_ms(0.0) == "0.0ms"
+
+    def test_negative_delta(self):
+        assert format_ms(-0.0347) == "-34.7ms"
+
+
+class TestFormatPct:
+    def test_basic(self):
+        assert format_pct(0.106) == "10.6%"
+
+    def test_none_renders_as_dash(self):
+        assert format_pct(None) == "-"
+        assert format_pct(None, signed=True) == "-"
+
+    def test_signed_positive_gains_plus(self):
+        assert format_pct(0.106, signed=True) == "+10.6%"
+
+    def test_signed_negative_keeps_minus(self):
+        assert format_pct(-0.05, signed=True) == "-5.0%"
+
+    def test_signed_zero_has_no_sign(self):
+        assert format_pct(0.0, signed=True) == "0.0%"
+
+    def test_unsigned_never_shows_plus(self):
+        assert format_pct(0.5) == "50.0%"
+
+
+class TestTable:
+    def test_render_layout(self):
+        table = Table("Title", ["col", "x"])
+        table.add_row("a", "bb")
+        title, header, separator, row = table.render().splitlines()
+        assert title == "Title"
+        assert header == "col | x "
+        assert separator == "----+---"
+        assert row == "a   | bb"
+
+    def test_columns_widen_to_longest_cell(self):
+        table = Table("T", ["a", "b"])
+        table.add_row("wide-cell", "y")
+        header, separator = table.render().splitlines()[1:3]
+        assert header.startswith("a".ljust(9))
+        assert separator == "-" * 9 + "-+-" + "-"
+
+    def test_empty_table_renders_header_only(self):
+        table = Table("T", ["a", "b"])
+        assert len(table.render().splitlines()) == 3  # title, header, rule
+
+    def test_cells_coerced_to_str(self):
+        table = Table("T", ["n", "v"])
+        table.add_row(3, 1.5)
+        assert table.render().splitlines()[-1] == "3 | 1.5"
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError, match="expected 2 cells, got 1"):
+            table.add_row("only-one")
+        with pytest.raises(ValueError, match="expected 2 cells, got 3"):
+            table.add_row("x", "y", "z")
+
+    def test_print_emits_blank_line_then_render(self, capsys):
+        table = Table("T", ["a"])
+        table.add_row("x")
+        table.print()
+        assert capsys.readouterr().out == "\n" + table.render() + "\n"

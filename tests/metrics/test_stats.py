@@ -29,6 +29,16 @@ class TestBasics:
     def test_percentile_bounds_checked(self):
         with pytest.raises(ValueError):
             percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+    def test_percentile_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_percentile_single_sample_is_constant(self):
+        for q in (0, 50, 90, 100):
+            assert percentile([7.5], q) == 7.5
 
     def test_cv_of_constant_is_zero(self):
         assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
@@ -71,6 +81,16 @@ class TestCdf:
         with pytest.raises(ValueError):
             Cdf([])
 
+    def test_single_sample(self):
+        cdf = Cdf([2.0])
+        assert len(cdf) == 1
+        assert cdf.min == cdf.max == 2.0
+        assert cdf.at(1.9) == 0.0
+        assert cdf.at(2.0) == 1.0
+        for q in (0.0, 0.5, 1.0):
+            assert cdf.quantile(q) == 2.0
+        assert cdf.series(points=4) == [(2.0, i / 4) for i in range(5)]
+
 
 class TestCollector:
     def test_series_accumulates_and_skips_none(self):
@@ -89,6 +109,36 @@ class TestCollector:
         for v in (1.0, 1.0):
             base.add(v)
         assert ours.improvement_over(base) == pytest.approx(0.1)
+
+    def test_improvement_over_percentile(self):
+        ours = MetricSeries("wira")
+        base = MetricSeries("baseline")
+        for v in (0.5, 0.9):
+            ours.add(v)
+        for v in (1.0, 1.0):
+            base.add(v)
+        assert ours.improvement_over(base, q=90) == pytest.approx(1 - 0.86)
+
+    def test_improvement_over_empty_series_is_none(self):
+        # Regression: an incomparable pair used to read as 0.0 — "no
+        # improvement" — instead of "not measurable".
+        empty = MetricSeries("empty")
+        filled = MetricSeries("filled")
+        filled.add(1.0)
+        assert empty.improvement_over(filled) is None
+        assert filled.improvement_over(empty) is None
+        assert empty.improvement_over(empty) is None
+
+    def test_improvement_over_zero_baseline_is_none(self):
+        ours = MetricSeries("wira")
+        ours.add(0.5)
+        base = MetricSeries("baseline")
+        base.add(0.0)
+        assert ours.improvement_over(base) is None
+
+    def test_improvement_over_none_renders_as_dash(self):
+        empty = MetricSeries("empty")
+        assert format_pct(empty.improvement_over(empty), signed=True) == "-"
 
     def test_scheme_collector_buckets(self):
         collector = SchemeCollector()

@@ -1,0 +1,13 @@
+"""Shared fixtures for the trace-bus tests."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def restore_bus():
+    """Never leak an installed bus (or a removed one) across tests."""
+    previous = obs.ACTIVE
+    yield
+    obs.ACTIVE = previous

@@ -1,0 +1,137 @@
+"""FFCT phase profiler on synthetic event streams."""
+
+import json
+
+import pytest
+
+from repro.obs.events import encode_record, meta_record
+from repro.obs.profiler import PHASES, PhaseBreakdown, profile_events, profile_records
+
+
+def session_events(with_loss=True):
+    """A hand-built two-connection session with known phase durations.
+
+    handshake 10ms, request 2ms, origin 8ms, one 10ms retransmit stall,
+    transmit 70ms — total FFCT 100ms.
+    """
+    events = [
+        (0.000, "session:request_sent", "cli", {}),
+        (0.010, "transport:handshake_complete", "srv", {"role": "server"}),
+        (0.012, "wira:request_received", "srv", {"stream": "s"}),
+        (0.015, "transport:packet_sent", "srv", {"pn": 0, "stream_data": False}),
+        (0.020, "transport:packet_sent", "srv", {"pn": 1, "stream_data": True}),
+    ]
+    if with_loss:
+        events += [
+            (0.050, "transport:packet_lost", "srv", {"pns": [1]}),
+            (0.060, "transport:packet_sent", "srv", {"pn": 2, "stream_data": True}),
+        ]
+    events.append((0.100, "session:first_frame", "cli", {"ffct": 0.100}))
+    return events
+
+
+class TestProfileEvents:
+    def test_phases_match_hand_computed_values(self):
+        b = profile_events(session_events())
+        assert b is not None
+        assert b.handshake == pytest.approx(0.010)
+        assert b.request == pytest.approx(0.002)
+        assert b.origin == pytest.approx(0.008)
+        assert b.stalls == pytest.approx(0.010)
+        assert b.transmit == pytest.approx(0.070)
+
+    def test_phases_sum_to_ffct(self):
+        b = profile_events(session_events())
+        assert b.total == pytest.approx(0.100)
+
+    def test_no_loss_means_no_stalls(self):
+        b = profile_events(session_events(with_loss=False))
+        assert b.stalls == 0.0
+        assert b.total == pytest.approx(0.100)
+
+    def test_first_data_send_anchors_origin_not_handshake_packet(self):
+        # The pn=0 packet at 15ms carries no stream data; origin must
+        # extend to the pn=1 data packet at 20ms.
+        b = profile_events(session_events())
+        assert b.origin == pytest.approx(0.008)
+
+    @pytest.mark.parametrize(
+        "dropped",
+        ["session:request_sent", "session:first_frame", "wira:request_received",
+         "transport:handshake_complete"],
+    )
+    def test_missing_milestone_returns_none(self, dropped):
+        events = [e for e in session_events() if e[1] != dropped]
+        assert profile_events(events) is None
+
+    def test_no_data_packet_returns_none(self):
+        events = [
+            e for e in session_events(with_loss=False)
+            if not (e[1] == "transport:packet_sent" and e[3].get("stream_data"))
+        ]
+        assert profile_events(events) is None
+
+    def test_two_separate_stalls_sum(self):
+        events = session_events() + [
+            (0.070, "recovery:pto_fired", "srv", {"pto_count": 1}),
+            (0.075, "transport:packet_sent", "srv", {"pn": 3, "stream_data": True}),
+        ]
+        events.sort(key=lambda e: e[0])
+        b = profile_events(events)
+        assert b.stalls == pytest.approx(0.015)
+        assert b.total == pytest.approx(0.100)
+
+    def test_double_declared_loss_counted_once(self):
+        events = session_events() + [
+            (0.052, "transport:packet_lost", "srv", {"pns": [1]}),
+        ]
+        events.sort(key=lambda e: e[0])
+        assert profile_events(events).stalls == pytest.approx(0.010)
+
+    def test_stall_open_at_first_frame_clips_to_window(self):
+        events = session_events(with_loss=False) + [
+            (0.095, "transport:packet_lost", "srv", {"pns": [4]}),
+        ]
+        events.sort(key=lambda e: e[0])
+        b = profile_events(events)
+        assert b.stalls == pytest.approx(0.005)
+        assert b.total == pytest.approx(0.100)
+
+    def test_events_after_first_frame_do_not_shift_phases(self):
+        events = session_events() + [
+            (0.150, "transport:packet_lost", "srv", {"pns": [9]}),
+            (0.200, "session:done", "cli", {"frames": 4}),
+        ]
+        assert profile_events(events) == profile_events(session_events())
+
+
+class TestPhaseBreakdown:
+    def test_as_dict_covers_all_phases(self):
+        b = PhaseBreakdown(0.01, 0.002, 0.008, 0.07, 0.01)
+        assert tuple(b.as_dict()) == PHASES
+
+    def test_phase_accessor(self):
+        b = PhaseBreakdown(0.01, 0.002, 0.008, 0.07, 0.01)
+        assert b.phase("transmit") == 0.07
+        with pytest.raises(KeyError):
+            b.phase("teleport")
+
+
+class TestProfileRecords:
+    def to_records(self, events):
+        lines = [meta_record(0.0, "cli", "s")]
+        lines += [encode_record(t, n, c, d) for t, n, c, d in events]
+        return [json.loads(line) for line in lines]
+
+    def test_matches_profile_events(self):
+        events = session_events()
+        assert profile_records(self.to_records(events)) == profile_events(events)
+
+    def test_order_insensitive(self):
+        records = self.to_records(session_events())
+        assert profile_records(list(reversed(records))) == profile_records(records)
+
+    def test_meta_and_malformed_records_skipped(self):
+        records = self.to_records(session_events())
+        records.append({"name": "session:done"})  # no time/data: ignored
+        assert profile_records(records) == profile_events(session_events())

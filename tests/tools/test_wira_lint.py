@@ -361,6 +361,58 @@ class TestWL006TypedDefs:
 
 
 # ---------------------------------------------------------------------------
+# WL007: no bare print() in library code.
+
+
+class TestWL007BarePrint:
+    def test_print_flagged_in_library_code(self):
+        src = """
+            def debug(x: int) -> int:
+                print(x)
+                return x
+        """
+        assert "WL007" in codes(src, SRC_PATH)
+        assert "WL007" in codes(src, "src/repro/cdn/fixture.py")
+
+    def test_pragma_suppresses(self):
+        src = """
+            def debug(x: int) -> int:
+                print(x)  # wira-lint: disable=WL007
+                return x
+        """
+        assert "WL007" not in codes(src, SRC_PATH)
+
+    def test_experiments_zone_exempt(self):
+        # Figure scripts report to stdout by design.
+        src = """
+            def report(x: int) -> None:
+                print(x)
+        """
+        assert "WL007" not in codes(src, "src/repro/experiments/fixture.py")
+
+    def test_report_module_exempt(self):
+        src = """
+            def show(table: object) -> None:
+                print(table)
+        """
+        assert "WL007" not in codes(src, "src/repro/metrics/report.py")
+
+    def test_tests_zone_not_covered(self):
+        src = """
+            def noisy() -> None:
+                print("debugging")
+        """
+        assert "WL007" not in codes(src, TEST_PATH)
+
+    def test_method_named_print_clean(self):
+        src = """
+            def show(table) -> None:
+                table.print()
+        """
+        assert "WL007" not in codes(src, SRC_PATH)
+
+
+# ---------------------------------------------------------------------------
 # Pragma machinery.
 
 
@@ -505,8 +557,16 @@ class TestCli:
                     return x
                 """,
             ),
+            (
+                "src/repro/cdn/wl007.py",
+                """
+                def f(x: int) -> int:
+                    print(x)
+                    return x
+                """,
+            ),
         ],
-        ids=["WL001", "WL002", "WL003", "WL004", "WL005", "WL006"],
+        ids=["WL001", "WL002", "WL003", "WL004", "WL005", "WL006", "WL007"],
     )
     def test_each_rule_fixture_fails_the_build(self, tmp_path, capsys, relpath, body):
         write_fixture(tmp_path, relpath, body)

@@ -32,7 +32,7 @@ def _parse_select(raw: Optional[str]) -> Optional[Set[str]]:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m tools.wira_lint",
-        description="Repo-specific AST determinism linter (rules WL001-WL006).",
+        description="Repo-specific AST determinism linter (rules WL001-WL007).",
     )
     parser.add_argument("paths", nargs="*", default=["src", "tests"], help="files or directories")
     parser.add_argument(

@@ -1,4 +1,4 @@
-"""AST walker, pragma handling, and the six rule implementations."""
+"""AST walker, pragma handling, and the rule implementations."""
 
 from __future__ import annotations
 
@@ -52,6 +52,8 @@ def _applicable_rules(path: str, select: Optional[Set[str]]) -> Set[str]:
     codes = set()
     for code, rule in RULES.items():
         if select is not None and code not in select:
+            continue
+        if any(exempt in norm for exempt in rule.exempt):
             continue
         if any(zone in norm for zone in rule.zone):
             codes.add(code)
@@ -180,7 +182,18 @@ class _Checker(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         self._check_wall_clock(node)
         self._check_randomness(node)
+        self._check_bare_print(node)
         self.generic_visit(node)
+
+    # -- WL007: no bare print in library code --------------------------
+
+    def _check_bare_print(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            self._report(
+                node,
+                "WL007",
+                "bare print() in library code; use logging or return a report",
+            )
 
     def _resolve_call(self, node: ast.Call) -> Optional[Tuple[str, str]]:
         """Resolve a call target to ``(module, function)`` for the three

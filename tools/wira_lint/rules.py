@@ -40,6 +40,8 @@ class Rule:
     name: str
     summary: str
     zone: Tuple[str, ...]
+    #: Path substrings exempt from the rule even inside its zone.
+    exempt: Tuple[str, ...] = ()
 
 
 RULES = {
@@ -78,6 +80,15 @@ RULES = {
         "typed-defs",
         "typed zones require annotations on every def",
         TYPED_ZONE,
+    ),
+    "WL007": Rule(
+        "WL007",
+        "no-bare-print",
+        "library code must not print(); use logging or return a report",
+        SRC_ZONE,
+        # Report rendering and the experiment drivers are presentation
+        # layers whose job is terminal output.
+        exempt=("src/repro/experiments", "src/repro/metrics/report"),
     ),
 }
 

@@ -1,0 +1,20 @@
+"""wira-trace: inspect the JSONL traces ``repro.obs`` writes.
+
+Stdlib-only CLI (like ``tools/wira_lint``) with three subcommands:
+
+* ``validate`` — schema-check trace files against the versioned record
+  schema (exit 1 on any defect);
+* ``summarize`` — per-session event counts and the FFCT phase breakdown;
+* ``diff`` — compare two trace sets (e.g. Wira vs static-init) and
+  attribute the first-frame saving to phases.
+
+Usage::
+
+    python -m tools.wira_trace validate traces/
+    python -m tools.wira_trace summarize --json traces/
+    python -m tools.wira_trace diff traces-baseline/ traces-wira/
+"""
+
+from tools.wira_trace.cli import main
+
+__all__ = ["main"]

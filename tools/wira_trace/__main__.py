@@ -1,0 +1,8 @@
+"""Entry point for ``python -m tools.wira_trace``."""
+
+import sys
+
+from tools.wira_trace.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())
