@@ -16,7 +16,7 @@ Mirrors the paper's nginx+LSQUIC integration points:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import obs as _obs
 from repro.cdn.origin import Origin
@@ -61,6 +61,8 @@ class WiraServer:
         clock_offset: float = 0.0,
         max_video_frames: int = 6,
         initial_params_override: Optional[InitialParams] = None,
+        ff_size_fault: Optional[int] = None,
+        on_ff_size_fault: Optional[Callable[[int], None]] = None,
     ) -> None:
         self.loop = loop
         self.connection = connection
@@ -71,6 +73,12 @@ class WiraServer:
         self.clock_offset = clock_offset
         self.max_video_frames = max_video_frames
         self.initial_params_override = initial_params_override
+        #: Adversarial testing hook: when set, the parser's completed
+        #: FF_Size is replaced with this value before initialisation, so
+        #: the Table-I floors/ceilings face hostile inputs (0, 1 byte,
+        #: multi-MB) under a live session.
+        self.ff_size_fault = ff_size_fault
+        self.on_ff_size_fault = on_ff_size_fault
         self.state = ServerSessionState()
         self.parser = FrameParser(self.config.video_frame_threshold)
         self._request_buffer = bytearray()
@@ -188,6 +196,10 @@ class WiraServer:
             self._trace("wira:parse_begin", {"batch_bytes": len(blob)})
         ff_size = self.parser.feed(blob)
         if ff_size is not None and self.state.ff_size is None:
+            if self.ff_size_fault is not None:
+                ff_size = self.ff_size_fault
+                if self.on_ff_size_fault is not None:
+                    self.on_ff_size_fault(ff_size)
             self.state.ff_size = ff_size
             self._trace(
                 "wira:parse_complete",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro import obs as _obs
 from repro.cdn.client import ClientMetrics, WiraClient
@@ -30,11 +30,13 @@ from repro.cdn.server import WiraServer
 from repro.core.config import WiraConfig
 from repro.core.initializer import InitialParams, Scheme
 from repro.core.transport_cookie import ClientCookieStore, ServerCookieManager
+from repro.faults import FaultInjector, FaultPlan
 from repro.quic.config import QuicConfig
 from repro.quic.connection import Connection, ConnectionStats, HandshakeMode, Role
 from repro.quic.handshake import TAG_HQST
 from repro.simnet.engine import EventLoop
 from repro.simnet.path import NetworkConditions, Path
+from repro.simnet.schedule import PathSchedule
 
 DEFAULT_COOKIE_KEY = b"wira-server-secret-key-32bytes!!"
 
@@ -60,6 +62,10 @@ class SessionResult:
     #: FFCT decomposed into phases — populated only when the session ran
     #: under an active trace bus (``WIRA_TRACE=1``), ``None`` otherwise.
     phase_breakdown: Optional[_obs.PhaseBreakdown] = None
+    #: Injected-fault action counts (``None`` when no fault plan ran;
+    #: ``{}`` when a plan ran but never fired, e.g. a cookie fault with
+    #: no cookie to corrupt).
+    fault_summary: Optional[Dict[str, int]] = None
 
     @property
     def ffct(self) -> Optional[float]:
@@ -109,6 +115,8 @@ class StreamingSession:
         client_supports_cookies: bool = True,
         initial_params_override: Optional[InitialParams] = None,
         trace_label: Optional[str] = None,
+        schedule: Optional[PathSchedule] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.conditions = conditions
         self.scheme = scheme
@@ -126,6 +134,8 @@ class StreamingSession:
         self.client_supports_cookies = client_supports_cookies
         self.initial_params_override = initial_params_override
         self.trace_label = trace_label
+        self.schedule = schedule
+        self.fault_plan = fault_plan
         if cookie_manager is not None:
             self.cookie_manager = cookie_manager
         else:
@@ -146,22 +156,42 @@ class StreamingSession:
     def _run(self) -> SessionResult:
         loop = EventLoop()
         rng = random.Random(self.seed)
-        path = Path(loop, self.conditions, rng=random.Random(rng.getrandbits(48)))
+        conditions = self.conditions
+        if self.schedule is not None:
+            conditions = self.schedule.initial_conditions(conditions)
+        path = Path(loop, conditions, rng=random.Random(rng.getrandbits(48)))
+
+        # Every adverse-path draw below is conditional so that sessions
+        # without a schedule or fault plan consume the session rng in
+        # exactly the pre-existing order and replay byte-identically.
+        injector: Optional[FaultInjector] = None
+        send_to_client = path.send_to_client
+        send_to_server = path.send_to_server
+        if self.fault_plan is not None:
+            injector = FaultInjector(
+                self.fault_plan, loop, random.Random(rng.getrandbits(48))
+            )
+            send_to_client = injector.wrap_send(path.send_to_client, "to_client")
+            send_to_server = injector.wrap_send(path.send_to_server, "to_server")
+        if self.schedule is not None and not self.schedule.is_inert:
+            self.schedule.install(loop, path, random.Random(rng.getrandbits(48)))
 
         server_conn = Connection(
             loop,
             Role.SERVER,
-            path.send_to_client,
+            send_to_client,
             self.quic_config,
             rng=random.Random(rng.getrandbits(48)),
         )
         hqst = WiraClient.build_hqst_tag(
             self.cookie_store, origin_id="origin", supported=self.client_supports_cookies
         )
+        if injector is not None:
+            hqst = injector.mutate_hqst(hqst)
         client_conn = Connection(
             loop,
             Role.CLIENT,
-            path.send_to_server,
+            send_to_server,
             self.quic_config,
             handshake_mode=self.handshake_mode,
             handshake_tags={TAG_HQST: hqst},
@@ -186,6 +216,8 @@ class StreamingSession:
             clock_offset=self.epoch,
             max_video_frames=max(self.target_video_frames, theta) + 2,
             initial_params_override=self.initial_params_override,
+            ff_size_fault=injector.ff_size_override if injector is not None else None,
+            on_ff_size_fault=injector.note_ff_size_override if injector is not None else None,
         )
 
         ff_stats: List[ConnectionStats] = []
@@ -225,7 +257,7 @@ class StreamingSession:
         return SessionResult(
             scheme=self.scheme,
             handshake_mode=self.handshake_mode,
-            conditions=self.conditions,
+            conditions=conditions,
             completed=client.done,
             client_metrics=client.metrics,
             ff_size_parsed=server.state.ff_size,
@@ -237,6 +269,7 @@ class StreamingSession:
             used_cookie=server.state.hx_qos is not None,
             server_min_rtt=server_min_rtt,
             server_max_bw=server_max_bw,
+            fault_summary=dict(injector.counters) if injector is not None else None,
         )
 
     def _run_until_done(self, loop: EventLoop, client: WiraClient) -> None:

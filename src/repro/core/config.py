@@ -40,6 +40,13 @@ class WiraConfig:
     """Safety ceiling on the initial window (anti-amplification-style
     guard against absurd cookie values)."""
 
+    min_initial_cwnd_packets: int = 10
+    """Safety floor on the initial window, in packets (RFC 6928's
+    standard default).  A corrupt or adversarial FF_Size of a few bytes
+    would otherwise initialize a 1-packet window and strangle the
+    connection below what any stock kernel would grant; an honest tiny
+    first frame loses nothing to the floor (it fits either way)."""
+
     def __post_init__(self) -> None:
         if self.video_frame_threshold < 1:
             raise ValueError("video_frame_threshold must be >= 1")
@@ -49,3 +56,5 @@ class WiraConfig:
             raise ValueError("staleness_delta must be positive")
         if self.init_cwnd_exp <= 0 or self.init_rtt_exp <= 0:
             raise ValueError("experiential defaults must be positive")
+        if self.min_initial_cwnd_packets < 1:
+            raise ValueError("min_initial_cwnd_packets must be >= 1")

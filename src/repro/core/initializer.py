@@ -187,6 +187,7 @@ def _finalize(
     provisional: bool,
 ) -> InitialParams:
     """Apply the deployment safety bounds."""
-    cwnd = max(_PACKET_WIRE_BYTES, min(int(cwnd), config.max_initial_cwnd_bytes))
+    floor = config.min_initial_cwnd_packets * _PACKET_WIRE_BYTES
+    cwnd = max(floor, min(int(cwnd), config.max_initial_cwnd_bytes))
     pacing = max(config.min_initial_pacing_bps, float(pacing))
     return InitialParams(cwnd, pacing, used_ff, used_hx, provisional)

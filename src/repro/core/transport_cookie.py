@@ -58,9 +58,16 @@ class HxQos:
         try:
             min_rtt_us, offset = decode_varint(data)
             max_bw, offset = decode_varint(data, offset)
-            timestamp_ms, _ = decode_varint(data, offset)
+            timestamp_ms, offset = decode_varint(data, offset)
         except ValueError as exc:
             raise CookieError(f"malformed Hx_QoS payload: {exc}") from exc
+        if offset != len(data):
+            # Strict parse: a sealed payload is exactly three varints.
+            # Trailing bytes mean corruption the MAC did not cover the
+            # intent of — reject rather than silently ignore.
+            raise CookieError(
+                f"trailing garbage after Hx_QoS payload ({len(data) - offset} bytes)"
+            )
         return cls(min_rtt_us / 1e6, float(max_bw), timestamp_ms / 1e3)
 
 
@@ -89,12 +96,24 @@ def encode_hqst(
 
 
 def decode_hqst(value: bytes) -> Tuple[bool, Optional[int], Optional[bytes]]:
-    """Decode an HQST tag value → (supported, received_at_ms, sealed)."""
+    """Decode an HQST tag value → (supported, received_at_ms, sealed).
+
+    Parsing is strict: the Bool must be exactly 0x00 or 0x01 (anything
+    else is a corrupted tag, not an "unsupported" client), and nothing
+    may follow the sealed frame.  Misreading corruption as a benign
+    shape would hide injected faults instead of detecting them.
+    """
     if not value:
         return False, None, None
+    if value[0] not in (0x00, 0x01):
+        raise CookieError(f"invalid HQST Bool byte 0x{value[0]:02x}")
     supported = value[0] == 0x01
-    if not supported or len(value) == 1:
-        return supported, None, None
+    if not supported:
+        if len(value) > 1:
+            raise CookieError("trailing garbage after unsupported HQST Bool")
+        return False, None, None
+    if len(value) == 1:
+        return True, None, None
     try:
         received_at_ms, offset = decode_varint(value, 1)
         length, offset = decode_varint(value, offset)
@@ -102,6 +121,8 @@ def decode_hqst(value: bytes) -> Tuple[bool, Optional[int], Optional[bytes]]:
         raise CookieError(f"malformed HQST tag: {exc}") from exc
     if offset + length > len(value):
         raise CookieError("HQST sealed frame truncated")
+    if offset + length < len(value):
+        raise CookieError("trailing garbage after HQST sealed frame")
     return supported, received_at_ms, bytes(value[offset : offset + length])
 
 
@@ -155,9 +176,15 @@ class ServerCookieManager:
     the client-supplied blob.
     """
 
-    def __init__(self, key: bytes, staleness_delta: float = 3600.0) -> None:
+    def __init__(
+        self,
+        key: bytes,
+        staleness_delta: float = 3600.0,
+        max_clock_skew: float = 5.0,
+    ) -> None:
         self._sealer = CookieSealer(key)
         self.staleness_delta = staleness_delta
+        self.max_clock_skew = max_clock_skew
         self._nonce_counter = 0
         self.rejected_cookies = 0
         self.stale_cookies = 0
@@ -177,8 +204,14 @@ class ServerCookieManager:
         """Validate a cookie echoed in a CHLO.
 
         Returns the authentic Hx_QoS, or ``None`` when the blob fails
-        authentication (counted in :attr:`rejected_cookies`) or is older
-        than Δ (corner case 2, counted in :attr:`stale_cookies`).
+        authentication (counted in :attr:`rejected_cookies`) or fails
+        the freshness window (corner case 2, counted in
+        :attr:`stale_cookies`).  Freshness is two-sided: a timestamp
+        older than Δ is stale, and a timestamp more than
+        :attr:`max_clock_skew` *ahead* of the server clock is equally
+        untrustworthy — without the upper bound, a future-dated blob
+        (clock skew or a forged timestamp surviving from an old key)
+        would pass ``now - timestamp > Δ`` forever.
         """
         try:
             plaintext = self._sealer.open(sealed)
@@ -186,7 +219,8 @@ class ServerCookieManager:
         except CookieError:
             self.rejected_cookies += 1
             return None
-        if now - qos.timestamp > self.staleness_delta:
+        age = now - qos.timestamp
+        if age > self.staleness_delta or age < -self.max_clock_skew:
             self.stale_cookies += 1
             return None
         return qos

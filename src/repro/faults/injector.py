@@ -1,0 +1,212 @@
+"""Seeded transport fault injector.
+
+§IV-C's safety argument is that Wira *degrades gracefully*: a forged or
+stale cookie, an unparsable FF_Size, or a hostile path must never make
+Wira worse than the baseline.  The unit suite exercises each rejection
+path in isolation; this module injects the same faults into *live*
+sessions so the corner cases run under load, against the real handshake,
+recovery and initialisation machinery.
+
+A :class:`FaultPlan` is plain picklable data naming one fault and its
+parameters; a :class:`FaultInjector` binds a plan to one session's event
+loop and rng, and exposes the three hook shapes the session wires in:
+
+* :meth:`FaultInjector.mutate_hqst` — corrupt/truncate the sealed
+  cookie or mangle the HQST tag the client echoes in its CHLO,
+  exercising the MAC-rejection and codec ``CookieError`` paths;
+* :meth:`FaultInjector.wrap_send` — intercept datagrams entering the
+  path: flip bits (the receiver models AEAD rejection and drops the
+  datagram), or drop/delay the leading client→server datagrams so the
+  handshake itself is lost or late;
+* :attr:`FaultInjector.ff_size_override` — replace the parser's FF_Size
+  with an adversarial value (0, 1 byte, multi-MB), exercising the
+  initializer's floors and the ``max_initial_cwnd_bytes`` safety bound.
+
+Every mutation draws from the injector's rng only, so a session seed
+fully determines the fault realisation, and every action is counted in
+:attr:`FaultInjector.counters` and emitted on the :mod:`repro.obs`
+trace bus as a ``fault:injected`` event.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro import obs as _obs
+from repro.simnet.engine import EventLoop
+from repro.simnet.link import Datagram
+from repro.simnet.schedule import PATH_TRACE_ID
+
+SendHook = Callable[[Datagram], bool]
+
+#: "multi-MB" adversarial FF_Size (a cookie/parse result no sane stream
+#: produces; must be clamped by ``WiraConfig.max_initial_cwnd_bytes``).
+HUGE_FF_SIZE = 8 * 1024 * 1024
+
+
+class FaultKind(enum.Enum):
+    """One injectable transport fault."""
+
+    COOKIE_CORRUPT = "cookie_corrupt"  # bit-flip inside the sealed cookie blob
+    COOKIE_TRUNCATE = "cookie_truncate"  # cut the HQST tag mid-sealed-frame
+    HQST_GARBAGE = "hqst_garbage"  # invalid Bool byte in the HQST tag
+    DATAGRAM_BITFLIP = "datagram_bitflip"  # corrupt a fraction of datagrams
+    HANDSHAKE_DROP = "handshake_drop"  # lose the leading client datagrams
+    HANDSHAKE_DELAY = "handshake_delay"  # delay the leading client datagrams
+    FF_SIZE_ZERO = "ff_size_zero"  # parser "reports" FF_Size = 0
+    FF_SIZE_TINY = "ff_size_tiny"  # parser "reports" FF_Size = 1 byte
+    FF_SIZE_HUGE = "ff_size_huge"  # parser "reports" a multi-MB FF_Size
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One fault plus its parameters; picklable and hashable."""
+
+    kind: FaultKind
+    #: Fraction of datagrams corrupted (``DATAGRAM_BITFLIP``).
+    bitflip_rate: float = 0.02
+    #: Leading client→server datagrams dropped (``HANDSHAKE_DROP``).
+    handshake_drops: int = 1
+    #: Leading client→server datagrams delayed (``HANDSHAKE_DELAY``).
+    handshake_delay_count: int = 2
+    #: Extra delay applied to each, seconds (``HANDSHAKE_DELAY``).
+    handshake_delay: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.bitflip_rate <= 1.0:
+            raise ValueError("bitflip_rate must be a probability")
+        if self.handshake_drops < 0 or self.handshake_delay_count < 0:
+            raise ValueError("handshake fault counts must be non-negative")
+        if self.handshake_delay < 0.0:
+            raise ValueError("handshake_delay must be non-negative")
+
+    @property
+    def ff_size_override(self) -> Optional[int]:
+        """Adversarial FF_Size value, or ``None`` for non-FF faults."""
+        if self.kind == FaultKind.FF_SIZE_ZERO:
+            return 0
+        if self.kind == FaultKind.FF_SIZE_TINY:
+            return 1
+        if self.kind == FaultKind.FF_SIZE_HUGE:
+            return HUGE_FF_SIZE
+        return None
+
+
+def single_fault_plans() -> Dict[str, FaultPlan]:
+    """One default-parameter plan per fault kind, keyed by kind value."""
+    return {kind.value: FaultPlan(kind) for kind in FaultKind}
+
+
+class FaultInjector:
+    """Binds a :class:`FaultPlan` to one session's loop and randomness."""
+
+    def __init__(self, plan: FaultPlan, loop: EventLoop, rng: random.Random) -> None:
+        self.plan = plan
+        self._loop = loop
+        self._rng = rng
+        #: Action → number of times it fired, for gate reports and tests.
+        self.counters: Dict[str, int] = {}
+        self._client_datagrams_seen = 0
+
+    # ------------------------------------------------------------------
+
+    def _note(self, action: str, **data: object) -> None:
+        self.counters[action] = self.counters.get(action, 0) + 1
+        if _obs.ACTIVE is not None:
+            payload: Dict[str, object] = {"kind": self.plan.kind.value, "action": action}
+            payload.update(data)
+            _obs.ACTIVE.emit(self._loop.now, "fault:injected", PATH_TRACE_ID, payload)
+
+    # ------------------------------------------------------------------
+    # Cookie / HQST faults (mutate the CHLO tag the client echoes)
+
+    def mutate_hqst(self, hqst: bytes) -> bytes:
+        """Apply any cookie/HQST fault to the encoded tag value."""
+        kind = self.plan.kind
+        if kind == FaultKind.COOKIE_CORRUPT:
+            # Flip one bit past the Bool/varint prefix, inside the sealed
+            # region, so the server's MAC check must catch it.
+            if len(hqst) <= 4:
+                return hqst  # no cookie echoed — nothing to corrupt
+            index = self._rng.randrange(4, len(hqst))
+            bit = 1 << self._rng.randrange(8)
+            mutated = bytearray(hqst)
+            mutated[index] ^= bit
+            self._note("hqst_corrupted", index=index)
+            return bytes(mutated)
+        if kind == FaultKind.COOKIE_TRUNCATE:
+            if len(hqst) <= 4:
+                return hqst
+            cut = max(4, len(hqst) // 2)
+            self._note("hqst_truncated", kept=cut)
+            return hqst[:cut]
+        if kind == FaultKind.HQST_GARBAGE:
+            # An invalid Bool byte: strict decoding must reject it rather
+            # than misread it as "unsupported".
+            self._note("hqst_garbage")
+            return bytes([0x7F]) + hqst[1:]
+        return hqst
+
+    # ------------------------------------------------------------------
+    # Datagram-level faults
+
+    def wrap_send(self, send: SendHook, direction: str) -> SendHook:
+        """Wrap a path send hook; ``direction`` is ``to_client``/``to_server``."""
+        kind = self.plan.kind
+        if kind == FaultKind.DATAGRAM_BITFLIP:
+            return self._bitflip_wrapper(send, direction)
+        if direction == "to_server" and kind in (
+            FaultKind.HANDSHAKE_DROP,
+            FaultKind.HANDSHAKE_DELAY,
+        ):
+            return self._handshake_wrapper(send)
+        return send
+
+    def _bitflip_wrapper(self, send: SendHook, direction: str) -> SendHook:
+        def sender(datagram: Datagram) -> bool:
+            if self._rng.random() < self.plan.bitflip_rate and datagram.payload:
+                index = self._rng.randrange(len(datagram.payload))
+                bit = 1 << self._rng.randrange(8)
+                mutated = bytearray(datagram.payload)
+                mutated[index] ^= bit
+                self._note("datagram_bitflipped", direction=direction, index=index)
+                datagram = Datagram(
+                    bytes(mutated), size=datagram.size, corrupted=True
+                )
+            return send(datagram)
+
+        return sender
+
+    def _handshake_wrapper(self, send: SendHook) -> SendHook:
+        drop = self.plan.kind == FaultKind.HANDSHAKE_DROP
+
+        def sender(datagram: Datagram) -> bool:
+            self._client_datagrams_seen += 1
+            seen = self._client_datagrams_seen
+            if drop:
+                if seen <= self.plan.handshake_drops:
+                    self._note("handshake_dropped", n=seen)
+                    return False
+                return send(datagram)
+            if seen <= self.plan.handshake_delay_count:
+                self._note("handshake_delayed", n=seen, delay=self.plan.handshake_delay)
+                self._loop.post_later(self.plan.handshake_delay, send, datagram)
+                return True
+            return send(datagram)
+
+        return sender
+
+    # ------------------------------------------------------------------
+    # Frame-perception faults
+
+    @property
+    def ff_size_override(self) -> Optional[int]:
+        """Adversarial FF_Size for the server to adopt, if any."""
+        return self.plan.ff_size_override
+
+    def note_ff_size_override(self, value: int) -> None:
+        """Called by the server when it adopts the adversarial value."""
+        self._note("ff_size_overridden", value=value)

@@ -35,6 +35,7 @@ SCHEMA_VERSION = 1
 #: ``bbr:*``        — BBR state machine
 #: ``wira:*``       — the paper's mechanisms (parser, cookie, init)
 #: ``session:*``    — client/player milestones (FFCT endpoints)
+#: ``fault:*``      — injected faults and adverse-schedule transitions
 EVENT_NAMES = frozenset(
     {
         "trace:meta",
@@ -42,7 +43,12 @@ EVENT_NAMES = frozenset(
         "transport:packet_received",
         "transport:packet_acked",
         "transport:packet_lost",
+        "transport:packet_dropped",
         "transport:handshake_complete",
+        "fault:injected",
+        "fault:conditions_changed",
+        "fault:link_down",
+        "fault:link_up",
         "recovery:metrics_updated",
         "recovery:loss_timer_fired",
         "recovery:pto_fired",

@@ -88,6 +88,8 @@ class ConnectionStats:
     bytes_sent: int = 0
     bytes_retransmitted: int = 0
     duplicate_packets: int = 0
+    corrupt_packets: int = 0
+    undecodable_packets: int = 0
     pto_count: int = 0
     handshake_completed_at: Optional[float] = None
     handshake_rtt_sample: Optional[float] = None
@@ -247,7 +249,22 @@ class Connection:
     def datagram_received(self, datagram: Datagram) -> None:
         if self._closed:
             return
-        packet = Packet.decode(datagram.payload)
+        if datagram.corrupted:
+            # A real transport's AEAD rejects a corrupted datagram; the
+            # simulator has no packet AEAD, so the fault injector marks
+            # the datagrams it mutilates and we model the rejection here.
+            self.stats.corrupt_packets += 1
+            self._trace_packet_dropped("corrupt", datagram.size)
+            return
+        try:
+            packet = Packet.decode(datagram.payload)
+        except ValueError:
+            # Malformed on the wire (PacketParseError and friends): drop,
+            # count, and survive — garbage input must never crash the
+            # endpoint (§IV-C graceful degradation).
+            self.stats.undecodable_packets += 1
+            self._trace_packet_dropped("undecodable", datagram.size)
+            return
         self.stats.packets_received += 1
         now = self.loop.now
         if _obs.ACTIVE is not None:
@@ -298,6 +315,15 @@ class Connection:
                 self._trace_cc_metrics(now)
         self.stats.pto_count = max(self.stats.pto_count, self.loss_recovery.pto_count)
 
+    def _trace_packet_dropped(self, reason: str, size: int) -> None:
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                self.loop.now,
+                "transport:packet_dropped",
+                self._trace_id,
+                {"reason": reason, "size": size, "role": self.role.value},
+            )
+
     def _trace_cc_metrics(self, now: float) -> None:
         """Emit ``recovery:metrics_updated`` when cwnd/pacing changed.
 
@@ -326,7 +352,14 @@ class Connection:
         if frame.offset in self._seen_crypto_offsets:
             return
         self._seen_crypto_offsets.add(frame.offset)
-        message = HandshakeMessage.decode(frame.data)
+        try:
+            message = HandshakeMessage.decode(frame.data)
+        except ValueError:
+            # HandshakeParseError on hostile crypto bytes: drop the
+            # message, keep the connection alive.
+            self.stats.undecodable_packets += 1
+            self._trace_packet_dropped("bad_handshake", len(frame.data))
+            return
         if message.message_type == HandshakeMessageType.CHLO:
             self._on_chlo(message, now)
         elif message.message_type == HandshakeMessageType.REJ:

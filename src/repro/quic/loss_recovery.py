@@ -67,14 +67,19 @@ class LossRecovery:
             for pn in ack.acked_packet_numbers()
             if pn in self.sent_packets and not self.sent_packets[pn].acked
         ]
+        # Advance largest_acked on every ACK, including pure duplicates:
+        # a duplicate whose acked numbers were all seen (or GC'd) can
+        # still carry a larger largest_acked, and packet-threshold loss
+        # detection must not stall behind it.
+        if self.largest_acked is None or ack.largest_acked > self.largest_acked:
+            self.largest_acked = ack.largest_acked
         if not acked_numbers:
-            # Pure duplicate; still run time-threshold detection.
+            # Pure duplicate; still run loss detection (the advanced
+            # largest_acked may have pushed packets over the threshold).
             result.newly_lost = self._detect_lost(now)
             return result
 
         largest_newly_acked = max(acked_numbers)
-        if self.largest_acked is None or ack.largest_acked > self.largest_acked:
-            self.largest_acked = ack.largest_acked
 
         for pn in acked_numbers:
             packet = self.sent_packets[pn]

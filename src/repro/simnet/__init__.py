@@ -4,8 +4,10 @@ The paper evaluated Wira on production Internet paths between Tencent CDN
 proxies and live-streaming clients.  This package provides the offline
 substitute: a deterministic discrete-event simulator with an explicit clock
 (:mod:`repro.simnet.engine`), rate/delay/loss/buffer link models
-(:mod:`repro.simnet.link`), duplex paths (:mod:`repro.simnet.path`) and
-time-varying condition traces (:mod:`repro.simnet.trace`).
+(:mod:`repro.simnet.link`), duplex paths (:mod:`repro.simnet.path`),
+time-varying condition traces (:mod:`repro.simnet.trace`) and adverse
+schedules — bursty loss, reordering, duplication, outages
+(:mod:`repro.simnet.schedule`).
 
 All randomness flows through caller-supplied :class:`random.Random`
 instances so experiment runs are reproducible bit-for-bit.
@@ -14,6 +16,12 @@ instances so experiment runs are reproducible bit-for-bit.
 from repro.simnet.engine import Event, EventLoop
 from repro.simnet.link import Datagram, Link, LinkStats
 from repro.simnet.path import NetworkConditions, Path
+from repro.simnet.schedule import (
+    GilbertElliott,
+    GilbertElliottLoss,
+    OutageWindow,
+    PathSchedule,
+)
 from repro.simnet.trace import ConditionTrace, TracePoint
 
 __all__ = [
@@ -21,9 +29,13 @@ __all__ = [
     "Datagram",
     "Event",
     "EventLoop",
+    "GilbertElliott",
+    "GilbertElliottLoss",
     "Link",
     "LinkStats",
     "NetworkConditions",
+    "OutageWindow",
     "Path",
+    "PathSchedule",
     "TracePoint",
 ]

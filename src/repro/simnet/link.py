@@ -12,18 +12,41 @@ The model matches the paper's testbed configuration knobs (§II footnote 2:
   modelling non-congestive (e.g. wireless) loss.
 
 Packets are opaque :class:`Datagram` objects; the link only reads their
-size.  Delivery order is FIFO.  Condition changes (bandwidth, delay, loss)
-take effect for packets admitted after the change.
+size.  Delivery order is FIFO unless reordering is enabled.  Condition
+changes (bandwidth, delay, loss) take effect for packets admitted after
+the change: each packet snapshots the serialisation rate at admission,
+so a mid-queue bandwidth change never rewrites the transmission time of
+packets already accepted into the buffer.
+
+Adverse-network extensions (driven by
+:class:`~repro.simnet.schedule.PathSchedule`):
+
+* ``loss_model`` — a stateful drop process (e.g. Gilbert–Elliott bursty
+  loss) replacing the independent Bernoulli draw when set;
+* ``reorder_rate`` / ``reorder_delay`` — a fraction of packets receives
+  a bounded extra propagation delay, letting later packets overtake;
+* ``duplicate_rate`` — a fraction of packets is delivered twice;
+* ``down`` — link outage: every offered packet is dropped on admission
+  until the flag clears (packets already serialising still complete,
+  matching a cut after the bottleneck's input).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Optional
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional, Protocol, Tuple
 from collections import deque
 
 from repro.simnet.engine import EventLoop
+
+
+class LossModel(Protocol):
+    """Stateful per-packet drop process (see :mod:`repro.simnet.schedule`)."""
+
+    def should_drop(self) -> bool:
+        """Advance the process one packet; True drops it."""
+        ...
 
 
 @dataclass(slots=True)
@@ -38,10 +61,17 @@ class Datagram:
     size:
         Size on the wire in bytes; defaults to ``len(payload)`` but may be
         set larger to account for UDP/IP framing overhead.
+    corrupted:
+        Set by the fault injector when it flips bits in ``payload``.  A
+        real transport's AEAD rejects a corrupted datagram with
+        overwhelming probability; the simulator has no packet AEAD
+        (documented substitution, DESIGN.md), so receivers consult this
+        flag to model that rejection and drop the datagram.
     """
 
     payload: bytes
     size: int = 0
+    corrupted: bool = False
 
     def __post_init__(self) -> None:
         if self.size == 0:
@@ -58,12 +88,18 @@ class LinkStats:
     delivered: int = 0
     random_losses: int = 0
     buffer_losses: int = 0
+    outage_losses: int = 0
+    #: Sub-count of ``random_losses`` attributable to a ``loss_model``
+    #: (e.g. Gilbert–Elliott bad-state drops).
+    burst_losses: int = 0
+    reordered: int = 0
+    duplicated: int = 0
     bytes_delivered: int = 0
     max_queue_bytes: int = 0
 
     @property
     def dropped(self) -> int:
-        return self.random_losses + self.buffer_losses
+        return self.random_losses + self.buffer_losses + self.outage_losses
 
     @property
     def loss_rate(self) -> float:
@@ -88,11 +124,19 @@ class Link:
         router-queue abstraction.
     loss_rate:
         Probability each admitted packet is dropped independently.
+        Ignored while a ``loss_model`` is installed.
     rng:
-        Source of randomness for loss decisions.
+        Source of randomness for loss/impairment decisions.
     on_deliver:
         Callback invoked as ``on_deliver(datagram)`` when a packet exits
         the link.  May be (re)assigned after construction.
+
+    The impairment attributes (``loss_model``, ``reorder_rate``,
+    ``reorder_delay``, ``duplicate_rate``, ``down``) default to inert
+    values and are assigned directly by
+    :meth:`~repro.simnet.schedule.PathSchedule.install`; when they stay
+    at their defaults the link draws no extra randomness, so existing
+    seeded runs replay byte-identically.
     """
 
     __slots__ = (
@@ -101,6 +145,11 @@ class Link:
         "propagation_delay",
         "buffer_bytes",
         "loss_rate",
+        "loss_model",
+        "reorder_rate",
+        "reorder_delay",
+        "duplicate_rate",
+        "down",
         "_rng",
         "on_deliver",
         "stats",
@@ -130,13 +179,19 @@ class Link:
         self.propagation_delay = propagation_delay
         self.buffer_bytes = buffer_bytes
         self.loss_rate = loss_rate
+        self.loss_model: Optional[LossModel] = None
+        self.reorder_rate = 0.0
+        self.reorder_delay = 0.0
+        self.duplicate_rate = 0.0
+        self.down = False
         # Seeded default keeps zero-argument Links reproducible; sessions
         # that need independent loss processes pass their own rng (Path
         # derives one per direction from the session seed).
         self._rng = rng or random.Random(0)  # wira-lint: disable=WL002
         self.on_deliver = on_deliver
         self.stats = LinkStats()
-        self._queue: Deque[Datagram] = deque()
+        # Queue entries snapshot the serialisation rate at admission.
+        self._queue: Deque[Tuple[Datagram, float]] = deque()
         self._queue_bytes = 0
         self._busy = False
 
@@ -149,36 +204,53 @@ class Link:
         """Offer a packet to the link.
 
         Returns ``True`` if the packet was admitted (it may still take a
-        while to be delivered) and ``False`` if it was lost to random loss
-        or buffer overflow.
+        while to be delivered) and ``False`` if it was lost to an outage,
+        random loss or buffer overflow.
         """
-        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+        if self.down:
+            self.stats.outage_losses += 1
+            return False
+        if self.loss_model is not None:
+            if self.loss_model.should_drop():
+                self.stats.random_losses += 1
+                self.stats.burst_losses += 1
+                return False
+        elif self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.stats.random_losses += 1
             return False
         if self._busy:
             if self._queue_bytes + datagram.size > self.buffer_bytes:
                 self.stats.buffer_losses += 1
                 return False
-            self._queue.append(datagram)
+            self._queue.append((datagram, self.bandwidth_bps))
             self._queue_bytes += datagram.size
             if self._queue_bytes > self.stats.max_queue_bytes:
                 self.stats.max_queue_bytes = self._queue_bytes
         else:
-            self._begin_transmission(datagram)
+            self._begin_transmission(datagram, self.bandwidth_bps)
         self.stats.admitted += 1
         return True
 
-    def _begin_transmission(self, datagram: Datagram) -> None:
+    def _begin_transmission(self, datagram: Datagram, rate_bps: float) -> None:
         self._busy = True
-        tx_time = datagram.size * 8.0 / self.bandwidth_bps
+        tx_time = datagram.size * 8.0 / rate_bps
         self._loop.post_later(tx_time, self._finish_transmission, datagram)
 
     def _finish_transmission(self, datagram: Datagram) -> None:
-        self._loop.post_later(self.propagation_delay, self._deliver, datagram)
+        delay = self.propagation_delay
+        # Impairments draw randomness only when enabled, so unimpaired
+        # links keep their historical rng stream.
+        if self.duplicate_rate > 0.0 and self._rng.random() < self.duplicate_rate:
+            self.stats.duplicated += 1
+            self._loop.post_later(delay, self._deliver, datagram)
+        if self.reorder_rate > 0.0 and self._rng.random() < self.reorder_rate:
+            self.stats.reordered += 1
+            delay += self._rng.uniform(0.0, self.reorder_delay)
+        self._loop.post_later(delay, self._deliver, datagram)
         if self._queue:
-            next_datagram = self._queue.popleft()
+            next_datagram, rate_bps = self._queue.popleft()
             self._queue_bytes -= next_datagram.size
-            self._begin_transmission(next_datagram)
+            self._begin_transmission(next_datagram, rate_bps)
         else:
             self._busy = False
 

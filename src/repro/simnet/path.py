@@ -138,9 +138,10 @@ class Path:
     def update_conditions(self, conditions: NetworkConditions) -> None:
         """Change path characteristics mid-simulation.
 
-        Applies to packets admitted after the call; queued packets drain
-        at the new forward rate (the serialisation event in flight is not
-        rescheduled, mirroring a rate change at a real bottleneck).
+        Applies to packets admitted after the call: every queued packet
+        snapshotted its serialisation rate at admission, and the
+        serialisation event in flight is not rescheduled, so a change
+        never rewrites the timing of packets the link already accepted.
         """
         self.conditions = conditions
         self.forward.bandwidth_bps = conditions.bandwidth_bps

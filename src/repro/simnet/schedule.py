@@ -1,0 +1,230 @@
+"""Adverse-network schedules: time-varying, bursty and flapping paths.
+
+The deployment replay's default path is a constant
+(:class:`~repro.simnet.path.NetworkConditions`) tuple with independent
+Bernoulli loss — fine for the paper's testbed matrix, but none of the
+corner cases §IV-C argues about (stale cookies on a changed path, large
+initial windows meeting a shrunken buffer, bursty access links) is
+exercised by it.  A :class:`PathSchedule` bundles everything
+time-varying or adverse about one path:
+
+* **condition trace** — piecewise bandwidth/delay/loss changes at
+  simulated times (reusing :class:`~repro.simnet.trace.ConditionTrace`);
+* **Gilbert–Elliott loss** — a two-state Markov drop process producing
+  loss *bursts* rather than independent drops, the classic model for
+  wireless access links ("When BBR Meets Live Streaming" motivates
+  exactly this regime);
+* **bounded reordering / duplication** — a fraction of packets receives
+  a bounded extra delay (letting later packets overtake) or is
+  delivered twice;
+* **outage (flap) windows** — intervals during which the path drops
+  everything offered, in both directions.
+
+Schedules are plain picklable data; :meth:`PathSchedule.install` wires
+one onto a live :class:`~repro.simnet.path.Path`, drawing all
+randomness from the caller-supplied rng so a session seed fully
+determines the adverse behaviour.  Installed schedule transitions are
+emitted on the :mod:`repro.obs` trace bus (``fault:*`` events) when it
+is active.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro import obs as _obs
+from repro.simnet.engine import EventLoop
+from repro.simnet.path import NetworkConditions, Path
+from repro.simnet.trace import ConditionTrace
+
+#: Connection id used for path-level (not connection-level) trace events.
+PATH_TRACE_ID = "path"
+
+
+@dataclass(frozen=True)
+class GilbertElliott:
+    """Two-state Markov loss process (good/bad) parameters.
+
+    ``p_good_to_bad`` / ``p_bad_to_good`` are per-packet transition
+    probabilities; ``loss_good`` / ``loss_bad`` are the drop
+    probabilities inside each state.  The stationary loss rate is
+    ``(r·k + p·h) / (p + r)`` with ``p = p_good_to_bad``,
+    ``r = p_bad_to_good``, ``k = loss_good``, ``h = loss_bad``.
+    """
+
+    p_good_to_bad: float
+    p_bad_to_good: float
+    loss_good: float = 0.0
+    loss_bad: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_to_bad", "p_bad_to_good", "loss_good", "loss_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.p_bad_to_good <= 0.0:
+            raise ValueError("p_bad_to_good must be positive (bad state must be escapable)")
+
+    @property
+    def stationary_loss_rate(self) -> float:
+        p, r = self.p_good_to_bad, self.p_bad_to_good
+        if p + r == 0.0:
+            return self.loss_good
+        return (r * self.loss_good + p * self.loss_bad) / (p + r)
+
+    def bind(self, rng: random.Random) -> "GilbertElliottLoss":
+        """Instantiate the process with its own randomness source."""
+        return GilbertElliottLoss(self, rng)
+
+
+class GilbertElliottLoss:
+    """Stateful Gilbert–Elliott drop process (a :class:`~repro.simnet.link.LossModel`)."""
+
+    __slots__ = ("spec", "_rng", "in_bad_state", "transitions")
+
+    def __init__(self, spec: GilbertElliott, rng: random.Random) -> None:
+        self.spec = spec
+        self._rng = rng
+        self.in_bad_state = False
+        self.transitions = 0
+
+    def should_drop(self) -> bool:
+        """Advance one packet: maybe transition states, then draw a drop."""
+        if self.in_bad_state:
+            if self._rng.random() < self.spec.p_bad_to_good:
+                self.in_bad_state = False
+                self.transitions += 1
+        else:
+            if self._rng.random() < self.spec.p_good_to_bad:
+                self.in_bad_state = True
+                self.transitions += 1
+        loss = self.spec.loss_bad if self.in_bad_state else self.spec.loss_good
+        return loss > 0.0 and self._rng.random() < loss
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """The path drops everything during ``[start, start + duration)``."""
+
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0.0:
+            raise ValueError("outage start must be non-negative")
+        if self.duration <= 0.0:
+            raise ValueError("outage duration must be positive")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class PathSchedule:
+    """Everything time-varying or adverse about one simulated path.
+
+    All fields default to "no effect": an empty ``PathSchedule()``
+    installed on a path changes nothing, and fields that stay inert draw
+    no randomness — seeded sessions without a schedule replay
+    byte-identically to sessions that never had one.
+    """
+
+    #: Piecewise condition changes; point times are relative to install.
+    trace: Optional[ConditionTrace] = None
+    #: Bursty loss on the forward (data) direction, replacing Bernoulli.
+    gilbert_elliott: Optional[GilbertElliott] = None
+    #: Bursty loss on the reverse (ACK) direction.
+    reverse_gilbert_elliott: Optional[GilbertElliott] = None
+    #: Fraction of forward packets receiving a bounded extra delay.
+    reorder_rate: float = 0.0
+    #: Upper bound on the extra delay, seconds (draws are uniform).
+    reorder_delay: float = 0.0
+    #: Fraction of forward packets delivered twice.
+    duplicate_rate: float = 0.0
+    #: Flap windows; both directions drop everything inside each window.
+    outages: Tuple[OutageWindow, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reorder_rate < 1.0:
+            raise ValueError("reorder_rate must be in [0, 1)")
+        if not 0.0 <= self.duplicate_rate < 1.0:
+            raise ValueError("duplicate_rate must be in [0, 1)")
+        if self.reorder_delay < 0.0:
+            raise ValueError("reorder_delay must be non-negative")
+        if self.reorder_rate > 0.0 and self.reorder_delay <= 0.0:
+            raise ValueError("reordering needs a positive reorder_delay bound")
+
+    @property
+    def is_inert(self) -> bool:
+        """True when installing this schedule would change nothing."""
+        return (
+            self.trace is None
+            and self.gilbert_elliott is None
+            and self.reverse_gilbert_elliott is None
+            and self.reorder_rate <= 0.0
+            and self.duplicate_rate <= 0.0
+            and not self.outages
+        )
+
+    def initial_conditions(self, default: NetworkConditions) -> NetworkConditions:
+        """Conditions the path should be built with (trace start or default)."""
+        if self.trace is not None:
+            return self.trace.initial_conditions
+        return default
+
+    def install(self, loop: EventLoop, path: Path, rng: random.Random) -> None:
+        """Wire this schedule onto ``path``, times relative to ``loop.now``.
+
+        ``rng`` seeds the loss processes; drawing sub-generators keeps
+        forward/reverse streams independent and the whole behaviour a
+        pure function of the caller's seed.
+        """
+        start = loop.now
+        if self.trace is not None:
+            path.update_conditions(self.trace.initial_conditions)
+            for point in self.trace.points[1:]:
+                loop.post_at(start + point.time, _apply_conditions, loop, path, point.conditions)
+        if self.gilbert_elliott is not None:
+            path.forward.loss_model = self.gilbert_elliott.bind(
+                random.Random(rng.getrandbits(64))
+            )
+        if self.reverse_gilbert_elliott is not None:
+            path.reverse.loss_model = self.reverse_gilbert_elliott.bind(
+                random.Random(rng.getrandbits(64))
+            )
+        if self.reorder_rate > 0.0:
+            path.forward.reorder_rate = self.reorder_rate
+            path.forward.reorder_delay = self.reorder_delay
+        if self.duplicate_rate > 0.0:
+            path.forward.duplicate_rate = self.duplicate_rate
+        for window in self.outages:
+            loop.post_at(start + window.start, _set_link_state, loop, path, True)
+            loop.post_at(start + window.end, _set_link_state, loop, path, False)
+
+
+def _apply_conditions(loop: EventLoop, path: Path, conditions: NetworkConditions) -> None:
+    """Trace-point callback: apply and (optionally) trace the change."""
+    path.update_conditions(conditions)
+    if _obs.ACTIVE is not None:
+        _obs.ACTIVE.emit(
+            loop.now,
+            "fault:conditions_changed",
+            PATH_TRACE_ID,
+            {
+                "bandwidth_bps": conditions.bandwidth_bps,
+                "rtt": conditions.rtt,
+                "loss_rate": conditions.loss_rate,
+            },
+        )
+
+
+def _set_link_state(loop: EventLoop, path: Path, down: bool) -> None:
+    """Outage callback: flap both directions together."""
+    path.forward.down = down
+    path.reverse.down = down
+    if _obs.ACTIVE is not None:
+        name = "fault:link_down" if down else "fault:link_up"
+        _obs.ACTIVE.emit(loop.now, name, PATH_TRACE_ID, {})

@@ -128,9 +128,15 @@ class TestCornerCase2:
 
 
 class TestSafetyBounds:
-    def test_cwnd_floor_one_packet(self):
+    def test_cwnd_floor_min_packets(self):
+        # RFC 6928 floor: a tiny (or adversarial) FF_Size never
+        # initializes the window below the standard 10-packet default.
         p = params(Scheme.WIRA_FF, ff_size=100)
-        assert p.cwnd_bytes == 1280
+        assert p.cwnd_bytes == CONFIG.min_initial_cwnd_packets * 1280
+
+    def test_cwnd_floor_zero_ff_size(self):
+        p = params(Scheme.WIRA_FF, ff_size=0)
+        assert p.cwnd_bytes == CONFIG.min_initial_cwnd_packets * 1280
 
     def test_cwnd_ceiling(self):
         huge = HxQos(min_rtt=2.0, max_bw_bps=1e10, timestamp=0.0)
@@ -173,6 +179,7 @@ def test_wira_never_exceeds_either_signal_property(ff, bw, rtt):
     """Property: Wira's window is bounded by both FF_Size and the BDP."""
     hx = HxQos(min_rtt=rtt, max_bw_bps=bw, timestamp=0.0)
     p = compute_initial_params(Scheme.WIRA, CONFIG, ff_size=ff, hx_qos=hx)
-    assert p.cwnd_bytes <= max(1280, payload_to_wire_bytes(ff))
-    assert p.cwnd_bytes <= max(1280, hx.bdp_bytes)
+    floor = CONFIG.min_initial_cwnd_packets * 1280
+    assert p.cwnd_bytes <= max(floor, payload_to_wire_bytes(ff))
+    assert p.cwnd_bytes <= max(floor, hx.bdp_bytes)
     assert p.pacing_bps >= CONFIG.min_initial_pacing_bps

@@ -190,3 +190,37 @@ class TestServerCookieManager:
         for i, frame in enumerate(frames, start=1):
             qos = fresh_manager.open_echoed(frame.decoded_metrics()["sealed"], now=60.0)
             assert qos.max_bw_bps == pytest.approx(1e6 * i)
+
+    def test_future_dated_cookie_rejected(self):
+        """Regression: a timestamp ahead of the server clock must not pass
+        the freshness check — ``now - timestamp > delta`` is false forever
+        for a future-dated blob, so it needs its own upper bound."""
+        manager = ServerCookieManager(KEY, staleness_delta=3600.0, max_clock_skew=5.0)
+        frame = manager.build_frame(HxQos(0.05, 8e6, timestamp=1000.0))
+        sealed = frame.decoded_metrics()["sealed"]
+        assert manager.open_echoed(sealed, now=100.0) is None
+        assert manager.stale_cookies == 1
+        assert manager.rejected_cookies == 0
+
+    def test_small_clock_skew_tolerated(self):
+        manager = ServerCookieManager(KEY, max_clock_skew=5.0)
+        frame = manager.build_frame(HxQos(0.05, 8e6, timestamp=104.0))
+        sealed = frame.decoded_metrics()["sealed"]
+        # 4 seconds ahead of the server clock: within the allowance.
+        assert manager.open_echoed(sealed, now=100.0) is not None
+
+    def test_skew_boundary(self):
+        manager = ServerCookieManager(KEY, max_clock_skew=5.0)
+        frame = manager.build_frame(HxQos(0.05, 8e6, timestamp=110.0))
+        sealed = frame.decoded_metrics()["sealed"]
+        assert manager.open_echoed(sealed, now=104.0) is None  # 6s ahead
+        assert manager.open_echoed(sealed, now=105.0) is not None  # exactly 5s
+
+    def test_trailing_garbage_in_sealed_payload_rejected(self):
+        """Strict HxQos parse: the sealed plaintext is exactly 3 varints."""
+        sealer = CookieSealer(KEY)
+        padded = HxQos(0.05, 8e6, 100.0).encode() + b"\x00\x01"
+        blob = sealer.seal(padded, nonce_seed=9)
+        manager = ServerCookieManager(KEY)
+        assert manager.open_echoed(blob, now=100.0) is None
+        assert manager.rejected_cookies == 1

@@ -1,0 +1,182 @@
+"""Tests for the robustness gate matrix (scheme × fault × schedule)."""
+
+import json
+
+import pytest
+
+from repro.core.initializer import Scheme
+from repro.experiments.robustness import (
+    CellResult,
+    RobustnessConfig,
+    build_schedules,
+    enumerate_cells,
+    evaluate_gates,
+    fault_plan_matrix,
+    main,
+    run_matrix,
+)
+from repro.faults import FaultKind
+
+
+SMALL = RobustnessConfig(
+    seeds=(7,),
+    schemes=(Scheme.BASELINE, Scheme.WIRA),
+    schedule_names=("steady", "flap"),
+    fault_names=("none", "cookie_corrupt"),
+)
+
+
+def cell(scheme=Scheme.WIRA, fault="none", schedule="steady", seed=7,
+         ffct=0.1, completed=True, primed=True):
+    return CellResult(
+        scheme=scheme,
+        fault=fault,
+        schedule=schedule,
+        seed=seed,
+        primed_completed=primed,
+        completed=completed,
+        ffct=ffct,
+        used_cookie=True,
+        fault_summary=None,
+    )
+
+
+class TestMatrixDefinition:
+    def test_schedule_set(self):
+        schedules = build_schedules(SMALL.conditions)
+        assert schedules["steady"] is None
+        assert set(schedules) == {
+            "steady", "bw_collapse", "bw_surge", "bursty_ge",
+            "reorder_dup", "flap", "surge_flap",
+        }
+        for name, sched in schedules.items():
+            if name != "steady":
+                assert not sched.is_inert
+
+    def test_fault_axis_is_every_kind_plus_control(self):
+        faults = fault_plan_matrix()
+        assert faults["none"] is None
+        assert set(faults) == {"none"} | {k.value for k in FaultKind}
+
+    def test_enumerate_cells_order_and_size(self):
+        cells = enumerate_cells(SMALL)
+        assert len(cells) == 2 * 2 * 2 * 1  # schemes × faults × schedules × seeds
+        assert cells[0] == (Scheme.BASELINE, "none", "steady", 7)
+        assert cells == enumerate_cells(SMALL)  # stable
+
+    def test_enumerate_cells_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="schedule"):
+            enumerate_cells(RobustnessConfig(schedule_names=("nope",)))
+        with pytest.raises(ValueError, match="fault"):
+            enumerate_cells(RobustnessConfig(fault_names=("nope",)))
+
+    def test_quick_config_is_reduced(self):
+        quick = RobustnessConfig.quick()
+        assert len(enumerate_cells(quick)) < len(enumerate_cells(RobustnessConfig()))
+
+
+class TestEvaluateGates:
+    def test_all_clean_passes(self):
+        results = [cell(Scheme.BASELINE, ffct=0.1), cell(Scheme.WIRA, ffct=0.08)]
+        report = evaluate_gates(results, SMALL)
+        assert report["passed"]
+        assert report["failures"] == []
+        (gate,) = report["ratio_gates"]
+        assert gate["ratio"] == pytest.approx(0.8)
+
+    def test_incomplete_session_fails_completion_gate(self):
+        report = evaluate_gates([cell(completed=False, ffct=None)], SMALL)
+        assert not report["passed"]
+        assert "incomplete session" in report["failures"][0]
+
+    def test_unprimed_chain_fails_completion_gate(self):
+        report = evaluate_gates([cell(primed=False)], SMALL)
+        assert not report["passed"]
+
+    def test_ratio_above_bound_fails(self):
+        results = [cell(Scheme.BASELINE, ffct=0.1), cell(Scheme.WIRA, ffct=0.2)]
+        report = evaluate_gates(results, SMALL)
+        assert not report["passed"]
+        assert "FFCT degradation" in report["failures"][0]
+
+    def test_schedule_override_lifts_bound(self):
+        # 2.0x would fail the global 1.5 bound; flap's override allows it.
+        results = [
+            cell(Scheme.BASELINE, schedule="flap", ffct=0.1),
+            cell(Scheme.WIRA, schedule="flap", ffct=0.2),
+        ]
+        report = evaluate_gates(results, SMALL)
+        assert report["passed"]
+        (gate,) = report["ratio_gates"]
+        assert gate["bound"] == pytest.approx(8.0)
+
+    def test_fault_override_lifts_bound(self):
+        results = [
+            cell(Scheme.BASELINE, fault="ff_size_zero", ffct=0.1),
+            cell(Scheme.WIRA, fault="ff_size_zero", ffct=0.3),
+        ]
+        report = evaluate_gates(results, SMALL)
+        assert report["passed"]
+        assert report["ratio_gates"][0]["bound"] == pytest.approx(4.0)
+
+    def test_mean_over_seeds(self):
+        results = [
+            cell(Scheme.BASELINE, seed=7, ffct=0.1),
+            cell(Scheme.BASELINE, seed=19, ffct=0.3),
+            cell(Scheme.WIRA, seed=7, ffct=0.2),
+            cell(Scheme.WIRA, seed=19, ffct=0.2),
+        ]
+        report = evaluate_gates(results, SMALL)
+        (gate,) = report["ratio_gates"]
+        assert gate["baseline_mean_ffct"] == pytest.approx(0.2)
+        assert gate["ratio"] == pytest.approx(1.0)
+
+    def test_report_is_json_serialisable(self):
+        report = evaluate_gates([cell(Scheme.BASELINE), cell(Scheme.WIRA)], SMALL)
+        parsed = json.loads(json.dumps(report))
+        assert parsed["config"]["schemes"] == ["baseline", "wira"]
+        assert len(parsed["cells"]) == 2
+
+
+class TestMatrixExecution:
+    def test_serial_and_parallel_runs_are_identical(self):
+        """Pool sharding must not change a single cell (ISSUE gate)."""
+        serial = run_matrix(SMALL, jobs=1)
+        parallel = run_matrix(SMALL, jobs=2)
+        assert serial == parallel
+        assert len(serial) == len(enumerate_cells(SMALL))
+
+    def test_small_matrix_passes_gates(self):
+        results = run_matrix(SMALL, jobs=1)
+        report = evaluate_gates(results, SMALL)
+        assert report["passed"], report["failures"]
+        for result in results:
+            assert result.completed
+
+    def test_cookie_fault_cells_lose_the_cookie(self):
+        results = run_matrix(SMALL, jobs=1)
+        for result in results:
+            if result.fault == "cookie_corrupt":
+                assert not result.used_cookie
+                assert result.fault_summary == {"hqst_corrupted": 1}
+            elif result.fault == "none":
+                assert result.used_cookie
+                assert result.fault_summary is None
+
+
+class TestCli:
+    def test_cli_writes_report_and_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(["--quick", "--jobs", "1", "--output", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["passed"]
+        assert report["config"]["cells"] == len(
+            enumerate_cells(RobustnessConfig.quick())
+        )
+        assert "PASSED" in capsys.readouterr().out
+
+    def test_cli_bound_override_can_fail_gates(self, tmp_path):
+        # An absurdly tight bound makes at least one ratio gate fail.
+        code = main(["--quick", "--jobs", "1", "--bound", "0.0001"])
+        assert code == 1

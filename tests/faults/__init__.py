@@ -1,0 +1,1 @@
+"""Tests for the seeded transport fault injector."""

@@ -160,3 +160,47 @@ def test_non_in_flight_packets_never_reported_lost():
     result = lr.on_ack_received(ack(5, [(4, 5)]), now=0.1)
     lost_pns = {p.packet_number for p in result.newly_lost}
     assert 0 not in lost_pns
+
+
+def test_duplicate_ack_advances_largest_acked():
+    """Regression: a pure-duplicate ACK (nothing newly acked) carrying a
+    larger largest_acked must still advance it and run loss detection
+    (RFC 9002: largest_acked tracks the largest acknowledged packet
+    regardless of whether the ACK frame is otherwise redundant)."""
+    lr = make_recovery()
+    for pn in range(5):
+        lr.on_packet_sent(sent(pn, t=pn * 0.001))
+    lr.on_ack_received(ack(1, [(1, 1)]), now=0.05)
+    assert lr.largest_acked == 1
+    # Packet 4 was resolved by earlier processing (e.g. a duplicated ACK
+    # datagram); this ACK then carries no newly-acked numbers.
+    lr.sent_packets[4].acked = True
+    result = lr.on_ack_received(ack(4, [(4, 4), (1, 1)]), now=0.051)
+    assert not result.newly_acked
+    assert lr.largest_acked == 4
+    # Packet 0 is >= kPacketThreshold behind the advanced largest_acked.
+    assert {p.packet_number for p in result.newly_lost} == {0}
+
+
+def test_duplicate_ack_runs_time_threshold_loss_detection():
+    """A duplicated ACK datagram arriving past the loss deadline must
+    declare the pending time-threshold loss, not return early."""
+    lr = make_recovery()
+    lr.on_packet_sent(sent(0, t=0.0))
+    lr.on_packet_sent(sent(1, t=0.001))
+    lr.on_ack_received(ack(1, [(1, 1)]), now=0.05)
+    assert lr.loss_time is not None  # packet 0 pending on the timer
+    result = lr.on_ack_received(ack(1, [(1, 1)]), now=0.5)
+    assert not result.newly_acked
+    assert {p.packet_number for p in result.newly_lost} == {0}
+
+
+def test_duplicate_ack_never_regresses_largest_acked():
+    lr = make_recovery()
+    for pn in range(3):
+        lr.on_packet_sent(sent(pn, t=pn * 0.001))
+    lr.on_ack_received(ack(2, [(0, 2)]), now=0.05)
+    assert lr.largest_acked == 2
+    result = lr.on_ack_received(ack(1, [(0, 1)]), now=0.06)
+    assert not result.newly_acked
+    assert lr.largest_acked == 2

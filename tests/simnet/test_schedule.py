@@ -1,0 +1,162 @@
+"""Tests for adverse-network schedules (time-varying/bursty/flapping paths)."""
+
+import random
+
+import pytest
+
+from repro.simnet.engine import EventLoop
+from repro.simnet.path import NetworkConditions, Path
+from repro.simnet.schedule import (
+    GilbertElliott,
+    GilbertElliottLoss,
+    OutageWindow,
+    PathSchedule,
+)
+from repro.simnet.trace import ConditionTrace, TracePoint
+
+BASE = NetworkConditions(bandwidth_bps=8_000_000.0, rtt=0.05, buffer_bytes=25_000)
+
+
+def make_path(loop, conditions=BASE, seed=3):
+    return Path(loop, conditions, rng=random.Random(seed))
+
+
+class TestGilbertElliott:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliott(p_good_to_bad=1.5, p_bad_to_good=0.5)
+        with pytest.raises(ValueError):
+            GilbertElliott(p_good_to_bad=0.1, p_bad_to_good=0.5, loss_bad=-0.1)
+
+    def test_bad_state_must_be_escapable(self):
+        with pytest.raises(ValueError):
+            GilbertElliott(p_good_to_bad=0.1, p_bad_to_good=0.0)
+
+    def test_stationary_loss_rate(self):
+        spec = GilbertElliott(
+            p_good_to_bad=0.1, p_bad_to_good=0.3, loss_good=0.0, loss_bad=0.5
+        )
+        # (r·k + p·h) / (p + r) = (0.3·0 + 0.1·0.5) / 0.4
+        assert spec.stationary_loss_rate == pytest.approx(0.125)
+
+    def test_empirical_loss_matches_stationary_rate(self):
+        spec = GilbertElliott(p_good_to_bad=0.05, p_bad_to_good=0.25, loss_bad=0.6)
+        model = spec.bind(random.Random(7))
+        n = 200_000
+        drops = sum(model.should_drop() for _ in range(n))
+        assert drops / n == pytest.approx(spec.stationary_loss_rate, rel=0.05)
+        assert model.transitions > 0
+
+    def test_losses_are_bursty(self):
+        """Drops cluster: consecutive-drop probability beats the marginal."""
+        spec = GilbertElliott(p_good_to_bad=0.02, p_bad_to_good=0.2, loss_bad=0.8)
+        model = spec.bind(random.Random(11))
+        outcomes = [model.should_drop() for _ in range(100_000)]
+        marginal = sum(outcomes) / len(outcomes)
+        after_drop = [b for a, b in zip(outcomes, outcomes[1:]) if a]
+        conditional = sum(after_drop) / len(after_drop)
+        assert conditional > 2 * marginal
+
+    def test_seeded_replay_is_identical(self):
+        spec = GilbertElliott(p_good_to_bad=0.1, p_bad_to_good=0.3, loss_bad=0.5)
+        runs = []
+        for _ in range(2):
+            model = spec.bind(random.Random(5))
+            runs.append([model.should_drop() for _ in range(5_000)])
+        assert runs[0] == runs[1]
+        assert isinstance(spec.bind(random.Random(0)), GilbertElliottLoss)
+
+
+class TestOutageWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OutageWindow(start=-1.0, duration=1.0)
+        with pytest.raises(ValueError):
+            OutageWindow(start=0.0, duration=0.0)
+
+    def test_end(self):
+        assert OutageWindow(start=1.0, duration=0.5).end == pytest.approx(1.5)
+
+
+class TestPathSchedule:
+    def test_empty_schedule_is_inert(self):
+        assert PathSchedule().is_inert
+        assert not PathSchedule(reorder_rate=0.1, reorder_delay=0.01).is_inert
+        assert not PathSchedule(outages=(OutageWindow(0.0, 1.0),)).is_inert
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PathSchedule(reorder_rate=0.1)  # needs a delay bound
+        with pytest.raises(ValueError):
+            PathSchedule(duplicate_rate=-0.1)
+
+    def test_initial_conditions_from_trace(self):
+        slow = BASE.scaled(bandwidth_factor=0.5)
+        sched = PathSchedule(trace=ConditionTrace([TracePoint(0.0, slow)]))
+        assert sched.initial_conditions(BASE) is slow
+        assert PathSchedule().initial_conditions(BASE) is BASE
+
+    def test_install_applies_trace_points(self):
+        loop = EventLoop()
+        path = make_path(loop)
+        slow = BASE.scaled(bandwidth_factor=0.25)
+        sched = PathSchedule(
+            trace=ConditionTrace([TracePoint(0.0, BASE), TracePoint(0.5, slow)])
+        )
+        sched.install(loop, path, random.Random(1))
+        assert path.forward.bandwidth_bps == BASE.bandwidth_bps
+        loop.run()
+        assert loop.now == pytest.approx(0.5)
+        assert path.forward.bandwidth_bps == slow.bandwidth_bps
+
+    def test_install_binds_loss_models_both_directions(self):
+        loop = EventLoop()
+        path = make_path(loop)
+        sched = PathSchedule(
+            gilbert_elliott=GilbertElliott(0.1, 0.3),
+            reverse_gilbert_elliott=GilbertElliott(0.2, 0.4),
+        )
+        sched.install(loop, path, random.Random(1))
+        assert isinstance(path.forward.loss_model, GilbertElliottLoss)
+        assert isinstance(path.reverse.loss_model, GilbertElliottLoss)
+        assert path.forward.loss_model is not path.reverse.loss_model
+
+    def test_outage_drops_everything_then_recovers(self):
+        loop = EventLoop()
+        path = make_path(loop)
+        delivered = []
+        path.deliver_to_client = delivered.append
+        sched = PathSchedule(outages=(OutageWindow(start=0.1, duration=0.2),))
+        sched.install(loop, path, random.Random(1))
+
+        from repro.simnet.link import Datagram
+
+        sent_during_outage = []
+        loop.post_at(0.2, lambda: sent_during_outage.append(
+            path.send_to_client(Datagram(b"x" * 100))
+        ))
+        sent_after = []
+        loop.post_at(0.4, lambda: sent_after.append(
+            path.send_to_client(Datagram(b"y" * 100))
+        ))
+        loop.run()
+        assert sent_during_outage == [False]
+        assert sent_after == [True]
+        assert path.forward.stats.outage_losses == 1
+        assert [d.payload[:1] for d in delivered] == [b"y"]
+
+    def test_schedule_is_deterministic_per_seed(self):
+        """Two installs with equal seeds produce identical drop decisions."""
+        from repro.simnet.link import Datagram
+
+        def run(seed):
+            loop = EventLoop()
+            path = make_path(loop, seed=99)
+            sched = PathSchedule(
+                gilbert_elliott=GilbertElliott(0.1, 0.3, loss_bad=0.7)
+            )
+            sched.install(loop, path, random.Random(seed))
+            return [path.send_to_client(Datagram(b"z" * 50)) for _ in range(500)]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)

@@ -20,6 +20,7 @@ SIM_ZONE: Tuple[str, ...] = (
     "src/repro/quic",
     "src/repro/core",
     "src/repro/workload",
+    "src/repro/faults",
 )
 
 #: Typed zone: packages under the mypy ``disallow_untyped_defs`` contract
@@ -28,6 +29,7 @@ SIM_ZONE: Tuple[str, ...] = (
 TYPED_ZONE: Tuple[str, ...] = (
     "src/repro/quic",
     "src/repro/simnet",
+    "src/repro/faults",
 )
 
 #: Whole-package zone for the style/structure rules.
