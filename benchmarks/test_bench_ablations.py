@@ -12,7 +12,7 @@
 
 from repro.cdn.origin import Origin
 from repro.cdn.playback import PlaybackPolicy
-from repro.cdn.session import StreamingSession
+from repro.cdn.session import SessionSpec, StreamingSession
 from repro.core.config import WiraConfig
 from repro.core.initializer import Scheme
 from repro.core.transport_cookie import ClientCookieStore
@@ -40,16 +40,16 @@ def run_pair(scheme, *, playback=None, epoch_gap=300.0, quic_config=None,
     """Warm-up session then a measured session with the cookie."""
     origin = make_origin()
     store = ClientCookieStore()
-    kwargs = dict(cookie_store=store, quic_config=quic_config, wira_config=wira_config)
-    StreamingSession(
-        conditions, scheme, origin, "s", seed=seed * 2 + 1,
-        target_video_frames=20, **kwargs,
-    ).run()
-    session = StreamingSession(
-        conditions, scheme, origin, "s", seed=seed * 2 + 2, epoch=epoch_gap,
-        playback=playback or PlaybackPolicy(), **kwargs,
+    warmup_spec = SessionSpec(
+        conditions, scheme, seed=seed * 2 + 1, target_video_frames=20,
+        quic_config=quic_config, wira_config=wira_config,
     )
-    return session.run()
+    StreamingSession.from_spec(warmup_spec, origin, "s", cookie_store=store).run()
+    measured_spec = warmup_spec.with_(
+        seed=seed * 2 + 2, epoch=epoch_gap,
+        playback=playback or PlaybackPolicy(), target_video_frames=4,
+    )
+    return StreamingSession.from_spec(measured_spec, origin, "s", cookie_store=store).run()
 
 
 def test_bench_ablation_theta_vf(once):

@@ -1,0 +1,146 @@
+"""Fleet-engine benchmarks: throughput, sharding, and memory bounds.
+
+Measures the campaign machinery, not the paper's numbers: sessions/sec
+for the serial and sharded paths, the serial==sharded report-hash check,
+and peak RSS — the engine's promise is bounded memory at any campaign
+size, so the artifact records the high-water mark alongside throughput.
+Results accumulate into ``BENCH_fleet.json`` at the repository root so
+CI can archive them run-over-run.
+
+Knobs (for CI smoke runs on small machines):
+
+``WIRA_BENCH_FLEET_OD_PAIRS``
+    Campaign size in OD chains (default 60; every chain replays under
+    both benched schemes, so sessions ≈ 2 × chains × ~3.5).
+``WIRA_BENCH_JOBS``
+    Worker count for the sharded leg (default 4).
+"""
+
+import json
+import os
+import resource
+import time
+from pathlib import Path
+
+from repro.fleet import FleetConfig, build_report, report_hash, run_campaign
+from repro.workload.population import DeploymentConfig
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_fleet.json"
+
+
+def _record(section, payload):
+    data = {}
+    if ARTIFACT.exists():
+        try:
+            data = json.loads(ARTIFACT.read_text())
+        except ValueError:
+            data = {}
+    data[section] = payload
+    ARTIFACT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _bench_od_pairs():
+    return int(os.environ.get("WIRA_BENCH_FLEET_OD_PAIRS", "60"))
+
+
+def _bench_jobs():
+    return int(os.environ.get("WIRA_BENCH_JOBS", "4"))
+
+
+def _peak_rss_bytes():
+    """High-water RSS of this process (kB on Linux, bytes on macOS)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak if peak > 1 << 30 else peak * 1024
+
+
+def _bench_config():
+    return FleetConfig(
+        population=DeploymentConfig(n_od_pairs=_bench_od_pairs(), seed=42),
+        schemes=("baseline", "wira"),
+        chunk_chains=10,
+    )
+
+
+def test_bench_fleet_campaign(once, capsys):
+    """Serial and sharded campaign legs over the same population."""
+    config = _bench_config()
+
+    def campaign():
+        timings = {}
+
+        start = time.perf_counter()
+        serial = run_campaign(config, jobs=1)
+        timings["serial_s"] = time.perf_counter() - start
+
+        jobs = _bench_jobs()
+        start = time.perf_counter()
+        sharded = run_campaign(config, jobs=jobs)
+        timings["sharded_s"] = time.perf_counter() - start
+
+        key = config.key()
+        serial_hash = report_hash(build_report(serial, key))
+        sharded_hash = report_hash(build_report(sharded, key))
+        return serial, sharded, serial_hash, sharded_hash, timings, jobs
+
+    serial, sharded, serial_hash, sharded_hash, timings, jobs = once(campaign)
+
+    # The determinism contract, enforced on every benchmark run.
+    assert serial_hash == sharded_hash
+
+    sessions = serial.total_sessions
+    payload = {
+        "od_pairs": config.population.n_od_pairs,
+        "schemes": list(config.schemes),
+        "sessions": sessions,
+        "serial_seconds": round(timings["serial_s"], 3),
+        "serial_sessions_per_sec": round(sessions / timings["serial_s"], 1),
+        "sharded_jobs": jobs,
+        "sharded_seconds": round(timings["sharded_s"], 3),
+        "sharded_sessions_per_sec": round(sessions / timings["sharded_s"], 1),
+        "speedup": round(timings["serial_s"] / timings["sharded_s"], 2),
+        "report_hash": serial_hash,
+        "peak_rss_mb": round(_peak_rss_bytes() / 1e6, 1),
+    }
+    _record("campaign", payload)
+    with capsys.disabled():
+        print(
+            f"\nfleet campaign: {sessions} sessions — "
+            f"serial {payload['serial_sessions_per_sec']}/s, "
+            f"sharded x{jobs} {payload['sharded_sessions_per_sec']}/s "
+            f"(speedup {payload['speedup']}), "
+            f"peak RSS {payload['peak_rss_mb']} MB, "
+            f"hash {serial_hash[:12]}"
+        )
+
+
+def test_bench_fleet_checkpoint_overhead(once, tmp_path, capsys):
+    """Checkpointing every chunk vs none: the durability tax."""
+    base = _bench_config().with_(
+        population=DeploymentConfig(n_od_pairs=max(10, _bench_od_pairs() // 3), seed=42),
+        checkpoint_every=1,
+    )
+
+    def legs():
+        start = time.perf_counter()
+        run_campaign(base, jobs=1)
+        bare = time.perf_counter() - start
+
+        start = time.perf_counter()
+        run_campaign(base, checkpoint_path=tmp_path / "cp.json", jobs=1)
+        checked = time.perf_counter() - start
+        return bare, checked
+
+    bare, checked = once(legs)
+    overhead = (checked - bare) / bare if bare > 0 else 0.0
+    payload = {
+        "od_pairs": base.population.n_od_pairs,
+        "bare_seconds": round(bare, 3),
+        "checkpointed_seconds": round(checked, 3),
+        "overhead_frac": round(overhead, 4),
+    }
+    _record("checkpoint_overhead", payload)
+    with capsys.disabled():
+        print(
+            f"\nfleet checkpoint overhead: {payload['overhead_frac']:+.1%} "
+            f"({bare:.2f}s -> {checked:.2f}s, every chunk)"
+        )

@@ -11,7 +11,7 @@ Usage::
 """
 
 from repro.cdn.origin import Origin
-from repro.cdn.session import StreamingSession
+from repro.cdn.session import SessionSpec, StreamingSession
 from repro.core.initializer import Scheme
 from repro.core.transport_cookie import ClientCookieStore
 from repro.media.source import StreamProfile
@@ -48,16 +48,12 @@ def main() -> None:
         # charges the client's transport-cookie store, the second is
         # measured (that is when Hx_QoS is available).
         store = ClientCookieStore()
-        warmup = StreamingSession(
-            conditions, scheme, origin, "demo",
-            cookie_store=store, seed=1, target_video_frames=20,
-        )
-        warmup.run()
-        session = StreamingSession(
-            conditions, scheme, origin, "demo",
-            cookie_store=store, seed=2, epoch=300.0,
-        )
-        result = session.run()
+        warmup_spec = SessionSpec(conditions, scheme, seed=1, target_video_frames=20)
+        StreamingSession.from_spec(warmup_spec, origin, "demo", cookie_store=store).run()
+        measured_spec = SessionSpec(conditions, scheme, seed=2, epoch=300.0)
+        result = StreamingSession.from_spec(
+            measured_spec, origin, "demo", cookie_store=store
+        ).run()
 
         if baseline_ffct is None:
             baseline_ffct = result.ffct

@@ -16,7 +16,7 @@ from repro.cdn.client import ClientMetrics, WiraClient
 from repro.cdn.origin import Origin, OriginFetch
 from repro.cdn.playback import PlaybackPolicy
 from repro.cdn.server import WiraServer
-from repro.cdn.session import SessionResult, StreamingSession
+from repro.cdn.session import SessionResult, SessionSpec, StreamingSession
 
 __all__ = [
     "ClientMetrics",
@@ -24,6 +24,7 @@ __all__ = [
     "OriginFetch",
     "PlaybackPolicy",
     "SessionResult",
+    "SessionSpec",
     "StreamingSession",
     "WiraClient",
     "WiraServer",

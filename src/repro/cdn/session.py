@@ -19,6 +19,7 @@ sessions of one OD pair lives in the client's
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
@@ -39,6 +40,42 @@ from repro.simnet.path import NetworkConditions, Path
 from repro.simnet.schedule import PathSchedule
 
 DEFAULT_COOKIE_KEY = b"wira-server-secret-key-32bytes!!"
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Everything that *defines* one session, immutably.
+
+    This is the supported construction path for sessions: build a spec,
+    then :meth:`StreamingSession.from_spec` it together with the shared
+    *environment* (origin, cookie store/manager) that carries state
+    between sessions of an OD pair.  Keeping definition and environment
+    apart is what lets the fleet engine ship specs across process
+    boundaries and replay them byte-identically.
+
+    Fields mirror the deployment dimensions §VI varies plus the PR-4
+    adversity axes; defaults reproduce the plain testbed session.
+    """
+
+    conditions: NetworkConditions
+    scheme: Scheme
+    handshake_mode: HandshakeMode = HandshakeMode.ZERO_RTT
+    epoch: float = 0.0
+    seed: int = 0
+    timeout: float = 30.0
+    playback: PlaybackPolicy = FIRST_VIDEO_FRAME
+    target_video_frames: int = 4
+    client_supports_cookies: bool = True
+    wira_config: Optional[WiraConfig] = None
+    quic_config: Optional[QuicConfig] = None
+    initial_params_override: Optional[InitialParams] = None
+    schedule: Optional[PathSchedule] = None
+    fault_plan: Optional[FaultPlan] = None
+    trace_label: Optional[str] = None
+
+    def with_(self, **changes: object) -> "SessionSpec":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
 
 
 @dataclass
@@ -91,9 +128,11 @@ class SessionResult:
 class StreamingSession:
     """Builds and runs one client↔proxy session.
 
-    Parameters mirror the deployment dimensions §VI varies: the scheme,
-    the handshake mode (0-RTT vs 1-RTT), the path conditions, and the
-    client's cookie state carried over from previous sessions.
+    The supported construction path is :meth:`from_spec`: an immutable
+    :class:`SessionSpec` (what to run) plus the environment shared along
+    an OD pair's chain (origin, cookie store, cookie manager).  The
+    positional kwarg constructor predates the spec API and survives as a
+    thin deprecated shim with identical behaviour.
     """
 
     def __init__(
@@ -118,24 +157,77 @@ class StreamingSession:
         schedule: Optional[PathSchedule] = None,
         fault_plan: Optional[FaultPlan] = None,
     ) -> None:
-        self.conditions = conditions
-        self.scheme = scheme
+        warnings.warn(
+            "StreamingSession(kwargs...) is deprecated; build a SessionSpec "
+            "and use StreamingSession.from_spec(spec, origin, stream_name, ...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._bind(
+            SessionSpec(
+                conditions=conditions,
+                scheme=scheme,
+                handshake_mode=handshake_mode,
+                epoch=epoch,
+                seed=seed,
+                timeout=timeout,
+                playback=playback,
+                target_video_frames=target_video_frames,
+                client_supports_cookies=client_supports_cookies,
+                wira_config=wira_config,
+                quic_config=quic_config,
+                initial_params_override=initial_params_override,
+                schedule=schedule,
+                fault_plan=fault_plan,
+                trace_label=trace_label,
+            ),
+            origin,
+            stream_name,
+            cookie_store,
+            cookie_manager,
+        )
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: SessionSpec,
+        origin: Origin,
+        stream_name: str,
+        cookie_store: Optional[ClientCookieStore] = None,
+        cookie_manager: Optional[ServerCookieManager] = None,
+    ) -> "StreamingSession":
+        """Build a session from an immutable spec plus its environment."""
+        session = cls.__new__(cls)
+        session._bind(spec, origin, stream_name, cookie_store, cookie_manager)
+        return session
+
+    def _bind(
+        self,
+        spec: SessionSpec,
+        origin: Origin,
+        stream_name: str,
+        cookie_store: Optional[ClientCookieStore],
+        cookie_manager: Optional[ServerCookieManager],
+    ) -> None:
+        self.spec = spec
+        self.conditions = spec.conditions
+        self.scheme = spec.scheme
         self.origin = origin
         self.stream_name = stream_name
-        self.handshake_mode = handshake_mode
-        self.wira_config = wira_config or WiraConfig()
-        self.quic_config = quic_config or QuicConfig()
+        self.handshake_mode = spec.handshake_mode
+        self.wira_config = spec.wira_config or WiraConfig()
+        self.quic_config = spec.quic_config or QuicConfig()
         self.cookie_store = cookie_store
-        self.playback = playback
-        self.target_video_frames = target_video_frames
-        self.epoch = epoch
-        self.seed = seed
-        self.timeout = timeout
-        self.client_supports_cookies = client_supports_cookies
-        self.initial_params_override = initial_params_override
-        self.trace_label = trace_label
-        self.schedule = schedule
-        self.fault_plan = fault_plan
+        self.playback = spec.playback
+        self.target_video_frames = spec.target_video_frames
+        self.epoch = spec.epoch
+        self.seed = spec.seed
+        self.timeout = spec.timeout
+        self.client_supports_cookies = spec.client_supports_cookies
+        self.initial_params_override = spec.initial_params_override
+        self.trace_label = spec.trace_label
+        self.schedule = spec.schedule
+        self.fault_plan = spec.fault_plan
         if cookie_manager is not None:
             self.cookie_manager = cookie_manager
         else:

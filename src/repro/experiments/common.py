@@ -18,17 +18,17 @@ delegate kept for backwards compatibility.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cdn.origin import Origin
-from repro.cdn.session import SessionResult, StreamingSession
+from repro.cdn.session import SessionResult, SessionSpec, StreamingSession
 from repro.core.config import WiraConfig
 from repro.core.initializer import InitialParams, Scheme
 from repro.core.transport_cookie import ClientCookieStore, ServerCookieManager
 from repro.quic.config import QuicConfig
 from repro.quic.connection import HandshakeMode
 from repro.simnet.path import NetworkConditions
-from repro.workload.population import DeploymentConfig, SessionSpec
+from repro.workload.population import DeploymentConfig, PlannedSession
 
 COOKIE_KEY = b"wira-deployment-cookie-key-32b!!"
 
@@ -46,9 +46,9 @@ HEADLINE_CONFIG = DeploymentConfig(n_od_pairs=120, seed=42)
 
 @dataclass(frozen=True)
 class SessionOutcome:
-    """One (spec, result) pair of a deployment replay."""
+    """One (planned session, result) pair of a deployment replay."""
 
-    spec: SessionSpec
+    spec: PlannedSession
     result: SessionResult
 
 
@@ -82,36 +82,63 @@ def run_deployment(
     )
 
 
-def _run_chain(
+def session_spec_for(
+    planned: PlannedSession,
     scheme: Scheme,
-    chain: List[SessionSpec],
     chain_index: int,
     config: DeploymentConfig,
     wira_config: WiraConfig,
-) -> List[SessionOutcome]:
+) -> SessionSpec:
+    """The :class:`SessionSpec` that replays one planned session."""
+    return SessionSpec(
+        conditions=planned.conditions,
+        scheme=scheme,
+        handshake_mode=planned.handshake_mode,
+        epoch=planned.epoch,
+        seed=planned.seed,
+        target_video_frames=config.video_frames_per_session,
+        wira_config=wira_config,
+        trace_label=f"{scheme.value}-c{chain_index}-s{planned.session_index}",
+    )
+
+
+def iter_chain_outcomes(
+    scheme: Scheme,
+    chain: List[PlannedSession],
+    chain_index: int,
+    config: DeploymentConfig,
+    wira_config: WiraConfig,
+) -> Iterator[SessionOutcome]:
+    """Replay one chain, yielding each outcome as it completes.
+
+    The generator form is what lets the fleet engine fold outcomes into
+    aggregates without ever retaining them; :func:`_run_chain` is the
+    figure-scale wrapper that still materializes the list.
+    """
     store = ClientCookieStore()
     manager = ServerCookieManager(COOKIE_KEY, staleness_delta=wira_config.staleness_delta)
     origin = Origin()
     stream_name = f"stream-{chain_index}"
     origin.add_stream(stream_name, chain[0].stream_profile)
-    outcomes: List[SessionOutcome] = []
-    for spec in chain:
-        session = StreamingSession(
-            conditions=spec.conditions,
-            scheme=scheme,
-            origin=origin,
-            stream_name=stream_name,
-            handshake_mode=spec.handshake_mode,
-            wira_config=wira_config,
+    for planned in chain:
+        session = StreamingSession.from_spec(
+            session_spec_for(planned, scheme, chain_index, config, wira_config),
+            origin,
+            stream_name,
             cookie_store=store,
             cookie_manager=manager,
-            epoch=spec.epoch,
-            seed=spec.seed,
-            target_video_frames=config.video_frames_per_session,
-            trace_label=f"{scheme.value}-c{chain_index}-s{spec.session_index}",
         )
-        outcomes.append(SessionOutcome(spec, session.run()))
-    return outcomes
+        yield SessionOutcome(planned, session.run())
+
+
+def _run_chain(
+    scheme: Scheme,
+    chain: List[PlannedSession],
+    chain_index: int,
+    config: DeploymentConfig,
+    wira_config: WiraConfig,
+) -> List[SessionOutcome]:
+    return list(iter_chain_outcomes(scheme, chain, chain_index, config, wira_config))
 
 
 def run_testbed_session(
@@ -142,18 +169,16 @@ def run_testbed_session(
             seed=17,
         ),
     )
-    session = StreamingSession(
+    spec = SessionSpec(
         conditions=conditions,
         scheme=Scheme.BASELINE,  # ignored: override pins the values
-        origin=origin,
-        stream_name="testbed",
         handshake_mode=HandshakeMode.ZERO_RTT,
         seed=seed,
         target_video_frames=target_video_frames,
         initial_params_override=initial_params,
         client_supports_cookies=False,
     )
-    return session.run()
+    return StreamingSession.from_spec(spec, origin, "testbed").run()
 
 
 def manual_params(cwnd_bytes: int, pacing_bps: float) -> InitialParams:

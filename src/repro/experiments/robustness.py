@@ -41,7 +41,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cdn.origin import Origin
-from repro.cdn.session import StreamingSession
+from repro.cdn.session import SessionSpec, StreamingSession
 from repro.core.initializer import Scheme
 from repro.core.transport_cookie import ClientCookieStore, ServerCookieManager
 from repro.faults import FaultPlan, single_fault_plans
@@ -218,32 +218,26 @@ def run_cell(
     origin.add_stream("stream", StreamProfile(seed=config.stream_seed))
     store = ClientCookieStore()
     manager = ServerCookieManager(COOKIE_KEY)
-    primer = StreamingSession(
+    prime_spec = SessionSpec(
         conditions=config.conditions,
         scheme=scheme,
-        origin=origin,
-        stream_name="stream",
-        cookie_store=store,
-        cookie_manager=manager,
         epoch=0.0,
         seed=seed,
         timeout=config.timeout,
         trace_label=f"rb-{scheme.value}-{fault_name}-{schedule_name}-s{seed}-prime",
     )
-    primed = primer.run()
-    measured = StreamingSession(
-        conditions=config.conditions,
-        scheme=scheme,
-        origin=origin,
-        stream_name="stream",
-        cookie_store=store,
-        cookie_manager=manager,
+    primed = StreamingSession.from_spec(
+        prime_spec, origin, "stream", cookie_store=store, cookie_manager=manager
+    ).run()
+    measured_spec = prime_spec.with_(
         epoch=SESSION_GAP,
         seed=seed + 1,
-        timeout=config.timeout,
         fault_plan=plan,
         schedule=schedule,
         trace_label=f"rb-{scheme.value}-{fault_name}-{schedule_name}-s{seed}",
+    )
+    measured = StreamingSession.from_spec(
+        measured_spec, origin, "stream", cookie_store=store, cookie_manager=manager
     ).run()
     return CellResult(
         scheme=scheme,

@@ -44,7 +44,8 @@ from typing import ContextManager, Dict, List, Optional, Sequence, Tuple
 from repro import obs as _obs
 from repro.core.config import WiraConfig
 from repro.core.initializer import Scheme
-from repro.workload.population import Deployment, DeploymentConfig, SessionSpec
+from repro.runtime import settings
+from repro.workload.population import Deployment, DeploymentConfig
 
 logger = logging.getLogger(__name__)
 
@@ -109,17 +110,13 @@ def _tracing_to_disk() -> bool:
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Worker count: explicit argument, else ``WIRA_JOBS``, else 1."""
+    """Worker count: explicit argument, else ``WIRA_JOBS``, else 1.
+
+    Knob parsing lives in :mod:`repro.runtime.settings`; this helper
+    only applies the explicit-argument precedence.
+    """
     if jobs is None:
-        env = os.environ.get("WIRA_JOBS", "").strip()
-        if env:
-            try:
-                jobs = int(env)
-            except ValueError:
-                logger.warning("ignoring non-integer WIRA_JOBS=%r", env)
-                jobs = 1
-        else:
-            jobs = 1
+        return settings.current().jobs
     return max(1, jobs)
 
 
@@ -127,20 +124,12 @@ def disk_cache_enabled(disk_cache: Optional[bool] = None) -> bool:
     """Disk-cache switch: explicit argument, else ``WIRA_DISK_CACHE``."""
     if disk_cache is not None:
         return disk_cache
-    return os.environ.get("WIRA_DISK_CACHE", "1").strip().lower() not in (
-        "0",
-        "false",
-        "no",
-        "off",
-    )
+    return settings.current().disk_cache
 
 
 def cache_dir() -> Path:
-    """Directory holding pickled replay results."""
-    env = os.environ.get("WIRA_CACHE_DIR", "").strip()
-    if env:
-        return Path(env)
-    return Path(os.path.expanduser("~")) / ".cache" / "wira-repro"
+    """Directory holding pickled replay results (``WIRA_CACHE_DIR``)."""
+    return settings.current().cache_dir
 
 
 def source_fingerprint() -> str:

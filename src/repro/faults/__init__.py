@@ -4,11 +4,11 @@ See :mod:`repro.faults.injector` for the model.  Typical use::
 
     from repro.faults import FaultKind, FaultPlan
 
-    session = StreamingSession(
-        conditions, Scheme.WIRA, origin, "stream",
+    spec = SessionSpec(
+        conditions, Scheme.WIRA,
         fault_plan=FaultPlan(FaultKind.COOKIE_CORRUPT), seed=7,
     )
-    result = session.run()
+    result = StreamingSession.from_spec(spec, origin, "stream").run()
     assert result.completed            # graceful degradation
     assert result.fault_summary        # the fault actually fired
 """

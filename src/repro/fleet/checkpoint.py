@@ -1,0 +1,126 @@
+"""Crash-tolerant campaign checkpoints.
+
+A campaign at fleet scale runs for minutes to hours; an interruption
+must not forfeit completed work.  The engine persists a JSON snapshot
+after every ``checkpoint_every`` completed chunks:
+
+* writes are atomic (``tempfile`` + ``os.replace``) so a kill mid-write
+  leaves the previous snapshot intact, never a torn file;
+* loads are defensive — any unreadable, truncated, or structurally
+  wrong file is reported as "no checkpoint", never an exception;
+* every snapshot embeds the campaign ``key`` (config + source
+  fingerprint hash), so a checkpoint can never resume a *different*
+  campaign: mismatches are surfaced to the caller, who decides whether
+  that is an error (``resume``) or a fresh start (``run``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+logger = logging.getLogger(__name__)
+
+#: Bump when the checkpoint layout changes; older files are ignored.
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+@dataclass
+class CheckpointState:
+    """One parsed checkpoint snapshot."""
+
+    key: str
+    config: Dict[str, object]
+    n_chunks: int
+    #: Completed chunk aggregates, keyed by chunk index.
+    chunks: Dict[int, Dict[str, object]] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.chunks) == self.n_chunks
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "key": self.key,
+            "config": self.config,
+            "n_chunks": self.n_chunks,
+            "chunks": {str(index): payload for index, payload in sorted(self.chunks.items())},
+        }
+
+
+def save_checkpoint(path: Path, state: CheckpointState) -> None:
+    """Atomically persist ``state``; failures are logged, not raised."""
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(state.to_json(), fh, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except Exception as exc:
+        logger.warning("could not persist checkpoint to %s (%s)", path, exc)
+
+
+def load_checkpoint(path: Path) -> Optional[CheckpointState]:
+    """Parse a checkpoint; any defect means ``None``, never a crash."""
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except FileNotFoundError:
+        return None
+    except Exception as exc:
+        logger.warning("ignoring unreadable checkpoint %s (%s)", path, exc)
+        return None
+    state = _parse(payload)
+    if state is None:
+        logger.warning("ignoring malformed checkpoint %s", path)
+    return state
+
+
+def _parse(payload: object) -> Optional[CheckpointState]:
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("format_version") != CHECKPOINT_FORMAT_VERSION:
+        return None
+    key = payload.get("key")
+    config = payload.get("config")
+    n_chunks = payload.get("n_chunks")
+    chunks = payload.get("chunks")
+    if (
+        not isinstance(key, str)
+        or not isinstance(config, dict)
+        or not isinstance(n_chunks, int)
+        or n_chunks < 1
+        or not isinstance(chunks, dict)
+    ):
+        return None
+    parsed: Dict[int, Dict[str, object]] = {}
+    for index_str, chunk in chunks.items():
+        try:
+            index = int(index_str)
+        except (TypeError, ValueError):
+            return None
+        if not isinstance(chunk, dict) or not 0 <= index < n_chunks:
+            return None
+        parsed[index] = chunk
+    return CheckpointState(key=key, config=config, n_chunks=n_chunks, chunks=parsed)
+
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointState",
+    "load_checkpoint",
+    "save_checkpoint",
+]

@@ -8,11 +8,23 @@ from repro.metrics.stats import (
 )
 from repro.metrics.collector import MetricSeries, SchemeCollector
 from repro.metrics.report import Table, format_ms, format_pct
+from repro.metrics.sketch import (
+    DEFAULT_ALPHA,
+    ExactSum,
+    QuantileSketch,
+    SketchCdf,
+    StatAccumulator,
+)
 
 __all__ = [
     "Cdf",
+    "DEFAULT_ALPHA",
+    "ExactSum",
     "MetricSeries",
+    "QuantileSketch",
     "SchemeCollector",
+    "SketchCdf",
+    "StatAccumulator",
     "Table",
     "coefficient_of_variation",
     "format_ms",

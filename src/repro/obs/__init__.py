@@ -35,7 +35,6 @@ Programmatic use::
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator, Optional, Union
@@ -89,14 +88,21 @@ ACTIVE: Optional[TraceBus] = None
 
 
 def env_requested() -> bool:
-    """True when ``WIRA_TRACE`` asks for tracing."""
-    return os.environ.get("WIRA_TRACE", "").strip().lower() in ("1", "true", "yes", "on")
+    """True when ``WIRA_TRACE`` asks for tracing.
+
+    Delegates to :mod:`repro.runtime.settings`, the single parse point
+    for every ``WIRA_*`` knob.
+    """
+    from repro.runtime import settings
+
+    return settings.current().trace
 
 
 def env_trace_dir() -> Optional[Path]:
     """Trace output directory from ``WIRA_TRACE_DIR``, if set."""
-    raw = os.environ.get("WIRA_TRACE_DIR", "").strip()
-    return Path(raw) if raw else None
+    from repro.runtime import settings
+
+    return settings.current().trace_dir
 
 
 def enable(

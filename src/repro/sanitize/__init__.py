@@ -32,7 +32,6 @@ Programmatic use::
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
@@ -71,8 +70,14 @@ ACTIVE: Optional[TransportSanitizer] = None
 
 
 def env_requested() -> bool:
-    """True when ``WIRA_SANITIZE`` asks for the sanitizer."""
-    return os.environ.get("WIRA_SANITIZE", "").strip().lower() in ("1", "true", "yes", "on")
+    """True when ``WIRA_SANITIZE`` asks for the sanitizer.
+
+    Delegates to :mod:`repro.runtime.settings`, the single parse point
+    for every ``WIRA_*`` knob.
+    """
+    from repro.runtime import settings
+
+    return settings.current().sanitize
 
 
 def enable(sanitizer: Optional[TransportSanitizer] = None) -> TransportSanitizer:

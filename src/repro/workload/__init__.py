@@ -12,15 +12,23 @@
 """
 
 from repro.workload.network import NetworkModel, OdPairModel, UserGroup
-from repro.workload.population import Deployment, DeploymentConfig, SessionSpec
+from repro.workload.population import (
+    Deployment,
+    DeploymentConfig,
+    FleetPopulation,
+    PlannedSession,
+    SessionSpec,
+)
 from repro.workload.streams import sample_ff_size, sample_stream_profile
 
 __all__ = [
     "Deployment",
     "DeploymentConfig",
+    "FleetPopulation",
     "NetworkModel",
     "OdPairModel",
-    "SessionSpec",
+    "PlannedSession",
+    "SessionSpec",  # deprecated alias of PlannedSession
     "UserGroup",
     "sample_ff_size",
     "sample_stream_profile",

@@ -14,13 +14,26 @@ lognormal inter-session gaps.  Every session
 Gaps beyond Δ = 60 minutes make the previous cookie stale (corner
 case 2); first sessions have none at all — both populations are what
 separates full Wira from Wira(Hx) in Fig 11.
+
+Two population flavours share the chain model:
+
+* :class:`Deployment` — the figure-scale population (10^2–10^3 chains).
+  OD pairs are drawn from one sequential :class:`NetworkModel` stream,
+  so chains must be generated front-to-back; :meth:`Deployment.generate`
+  is unchanged since PR 1 and :meth:`Deployment.iter_chains` streams the
+  same chains without materializing the full list.
+* :class:`FleetPopulation` — the campaign-scale population (10^5–10^6
+  sessions).  Every chain derives from ``(seed, od_index)`` alone, so a
+  fleet worker can produce exactly its shard's chains in O(shard) time
+  and memory — no worker regenerates the whole deployment.
 """
 
 from __future__ import annotations
 
+import math
 import random
-from dataclasses import dataclass, field
-from typing import List
+from dataclasses import dataclass, replace
+from typing import Iterator, List
 
 from repro.media.source import StreamProfile
 from repro.quic.connection import HandshakeMode
@@ -30,8 +43,14 @@ from repro.workload.streams import sample_stream_profile
 
 
 @dataclass(frozen=True)
-class SessionSpec:
-    """Everything needed to run one session under any scheme."""
+class PlannedSession:
+    """Everything needed to run one session under any scheme.
+
+    (Named ``SessionSpec`` before PR 5; that name now belongs to the
+    scheme-level construction spec in :mod:`repro.cdn.session`.  A
+    planned session is scheme-*agnostic* — the same plan replays under
+    every comparison scheme, which is what makes the A/B pairing exact.)
+    """
 
     od: OdPairModel
     stream_profile: StreamProfile
@@ -45,6 +64,10 @@ class SessionSpec:
     @property
     def is_first_session(self) -> bool:
         return self.session_index == 0
+
+
+#: Deprecated alias — the population-level spec's pre-PR-5 name.
+SessionSpec = PlannedSession
 
 
 @dataclass
@@ -67,28 +90,15 @@ class DeploymentConfig:
             raise ValueError("p_zero_rtt must be a probability")
 
 
-class Deployment:
-    """Generates the session chains of one deployment."""
+class _ChainSampler:
+    """The chain model shared by both population flavours."""
 
     def __init__(self, config: DeploymentConfig) -> None:
         self.config = config
-        self._rng = random.Random(f"deployment:{config.seed}")
-        self._network = NetworkModel(random.Random(f"network:{config.seed}"))
 
-    def generate(self) -> List[List[SessionSpec]]:
-        """Session chains, one inner list per OD pair, time-ordered."""
-        chains: List[List[SessionSpec]] = []
-        for od_index in range(self.config.n_od_pairs):
-            chains.append(self._generate_chain(od_index))
-        return chains
-
-    def sessions(self) -> List[SessionSpec]:
-        """All sessions flattened (chains stay internally ordered)."""
-        return [spec for chain in self.generate() for spec in chain]
-
-    def _generate_chain(self, od_index: int) -> List[SessionSpec]:
+    def chain_for_od(self, od: OdPairModel, od_index: int) -> List[PlannedSession]:
+        """One OD pair's time-ordered session chain."""
         rng = random.Random(f"chain:{self.config.seed}:{od_index}")
-        od = self._network.sample_od_pair()
         profile = sample_stream_profile(
             rng,
             stream_seed=od_index * 31 + 7,
@@ -97,7 +107,7 @@ class Deployment:
         n_sessions = 1 + self._geometric(rng, self.config.mean_extra_sessions)
         n_sessions = min(n_sessions, self.config.max_sessions_per_od)
 
-        specs: List[SessionSpec] = []
+        sessions: List[PlannedSession] = []
         epoch = rng.uniform(0.0, 600.0)
         gap_minutes = 0.0
         for index in range(n_sessions):
@@ -112,8 +122,8 @@ class Deployment:
                 if rng.random() < self.config.p_zero_rtt
                 else HandshakeMode.ONE_RTT
             )
-            specs.append(
-                SessionSpec(
+            sessions.append(
+                PlannedSession(
                     od=od,
                     stream_profile=profile,
                     conditions=conditions,
@@ -124,7 +134,7 @@ class Deployment:
                     seed=rng.getrandbits(48),
                 )
             )
-        return specs
+        return sessions
 
     @staticmethod
     def _geometric(rng: random.Random, mean: float) -> int:
@@ -138,7 +148,77 @@ class Deployment:
         return count
 
 
-def _ln(x: float) -> float:
-    import math
+class Deployment:
+    """Generates the session chains of one deployment (figure scale)."""
 
+    def __init__(self, config: DeploymentConfig) -> None:
+        self.config = config
+        self._sampler = _ChainSampler(config)
+
+    def iter_chains(self) -> Iterator[List[PlannedSession]]:
+        """Stream the chains front-to-back without retaining them.
+
+        Each call starts a fresh, independent pass: the sequential
+        OD-pair draws restart from the deployment seed, so iterating
+        twice yields identical chains.
+        """
+        network = NetworkModel(random.Random(f"network:{self.config.seed}"))
+        for od_index in range(self.config.n_od_pairs):
+            yield self._sampler.chain_for_od(network.sample_od_pair(), od_index)
+
+    def generate(self) -> List[List[PlannedSession]]:
+        """Session chains, one inner list per OD pair, time-ordered."""
+        return list(self.iter_chains())
+
+    def sessions(self) -> List[PlannedSession]:
+        """All sessions flattened (chains stay internally ordered)."""
+        return [spec for chain in self.iter_chains() for spec in chain]
+
+
+class FleetPopulation:
+    """Index-addressable population for fleet-scale campaigns.
+
+    Unlike :class:`Deployment`, whose OD pairs come off one sequential
+    random stream, every fleet chain is a pure function of
+    ``(config.seed, od_index)``: workers regenerate exactly the chains
+    of their chunk, so per-worker cost is O(chunk), not O(deployment).
+    The population model itself (user groups, dispersion, chain timing)
+    is identical — only the seeding strategy differs, which is why this
+    class produces a *different but statistically equivalent* population
+    from a :class:`Deployment` with the same seed.
+    """
+
+    def __init__(self, config: DeploymentConfig) -> None:
+        self.config = config
+        self._sampler = _ChainSampler(config)
+
+    def chain(self, od_index: int) -> List[PlannedSession]:
+        """The ``od_index``-th chain, derived independently of all others."""
+        if not 0 <= od_index < self.config.n_od_pairs:
+            raise IndexError(
+                f"od_index {od_index} out of range "
+                f"[0, {self.config.n_od_pairs})"
+            )
+        network = NetworkModel(
+            random.Random(f"fleet-od:{self.config.seed}:{od_index}")
+        )
+        od = replace(network.sample_od_pair(), od_id=od_index)
+        return self._sampler.chain_for_od(od, od_index)
+
+    def iter_chains(
+        self, start: int = 0, stop: int | None = None
+    ) -> Iterator[List[PlannedSession]]:
+        """Stream chains ``[start, stop)`` (defaults: the whole fleet)."""
+        if stop is None:
+            stop = self.config.n_od_pairs
+        for od_index in range(start, stop):
+            yield self.chain(od_index)
+
+    def iter_sessions(self) -> Iterator[PlannedSession]:
+        """All sessions, streamed; memory stays O(one chain)."""
+        for chain in self.iter_chains():
+            yield from chain
+
+
+def _ln(x: float) -> float:
     return math.log(x)

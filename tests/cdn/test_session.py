@@ -4,7 +4,7 @@ import pytest
 
 from repro.cdn.origin import Origin
 from repro.cdn.playback import PlaybackPolicy
-from repro.cdn.session import StreamingSession
+from repro.cdn.session import SessionSpec, StreamingSession
 from repro.core.config import WiraConfig
 from repro.core.initializer import Scheme, payload_to_wire_bytes
 from repro.core.transport_cookie import ClientCookieStore
@@ -30,15 +30,15 @@ def make_origin(ff_target=66_000, seed=1, **origin_kwargs):
 
 def run_session(scheme=Scheme.WIRA, conditions=TESTBED, store=None, mode=HandshakeMode.ZERO_RTT,
                 seed=3, origin=None, **kwargs):
-    session = StreamingSession(
+    spec = SessionSpec(
         conditions=conditions,
         scheme=scheme,
-        origin=origin or make_origin(),
-        stream_name="demo",
         handshake_mode=mode,
-        cookie_store=store,
         seed=seed,
         **kwargs,
+    )
+    session = StreamingSession.from_spec(
+        spec, origin or make_origin(), "demo", cookie_store=store
     )
     return session.run()
 

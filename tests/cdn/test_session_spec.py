@@ -1,0 +1,141 @@
+"""SessionSpec construction API: legacy-ctor equivalence and semantics.
+
+PR 5 makes :class:`SessionSpec` + :meth:`StreamingSession.from_spec` the
+only supported construction path for new code; the keyword constructor
+survives as a deprecated shim.  These tests pin the contract:
+
+* the shim and ``from_spec`` produce *identical* results (the shim is a
+  pure repackaging, not a parallel code path),
+* the shim warns ``DeprecationWarning`` exactly once per construction,
+* the spec is frozen and copied-with-changes via :meth:`SessionSpec.with_`.
+"""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.cdn.origin import Origin
+from repro.cdn.session import SessionSpec, StreamingSession
+from repro.core.initializer import Scheme
+from repro.core.transport_cookie import ClientCookieStore
+from repro.media.source import StreamProfile
+from repro.quic.connection import HandshakeMode
+from repro.simnet.path import NetworkConditions
+
+TESTBED = NetworkConditions(
+    bandwidth_bps=8_000_000.0, rtt=0.050, loss_rate=0.03, buffer_bytes=25_000
+)
+
+
+def make_origin():
+    origin = Origin()
+    origin.add_stream(
+        "demo",
+        StreamProfile(first_frame_target_bytes=66_000, seed=1,
+                      complexity_sigma=0.02, size_jitter=0.02),
+    )
+    return origin
+
+
+class TestLegacyShimEquivalence:
+    @pytest.mark.parametrize("scheme", [Scheme.BASELINE, Scheme.WIRA])
+    @pytest.mark.parametrize("mode", [HandshakeMode.ZERO_RTT, HandshakeMode.ONE_RTT])
+    def test_legacy_ctor_and_from_spec_identical_results(self, scheme, mode):
+        """The deprecated kwarg constructor must replay byte-for-byte like
+        the spec path — same FFCT, same loss, same initial parameters."""
+        spec = SessionSpec(
+            conditions=TESTBED,
+            scheme=scheme,
+            handshake_mode=mode,
+            seed=11,
+            target_video_frames=4,
+        )
+        via_spec = StreamingSession.from_spec(spec, make_origin(), "demo").run()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_legacy = StreamingSession(
+                conditions=TESTBED,
+                scheme=scheme,
+                origin=make_origin(),
+                stream_name="demo",
+                handshake_mode=mode,
+                seed=11,
+                target_video_frames=4,
+            ).run()
+        assert via_spec == via_legacy
+
+    def test_legacy_ctor_equivalent_with_cookie_chain(self):
+        """Two-session chains (warm cookie store) agree across both paths."""
+
+        def run_chain(use_legacy):
+            origin = make_origin()
+            store = ClientCookieStore()
+            first = SessionSpec(conditions=TESTBED, scheme=Scheme.WIRA, seed=5)
+            second = first.with_(seed=6, epoch=120.0)
+            results = []
+            for spec in (first, second):
+                if use_legacy:
+                    with warnings.catch_warnings():
+                        warnings.simplefilter("ignore", DeprecationWarning)
+                        session = StreamingSession(
+                            conditions=spec.conditions,
+                            scheme=spec.scheme,
+                            origin=origin,
+                            stream_name="demo",
+                            cookie_store=store,
+                            epoch=spec.epoch,
+                            seed=spec.seed,
+                        )
+                else:
+                    session = StreamingSession.from_spec(
+                        spec, origin, "demo", cookie_store=store
+                    )
+                results.append(session.run())
+            return results
+
+        legacy = run_chain(use_legacy=True)
+        spec_path = run_chain(use_legacy=False)
+        assert legacy == spec_path
+        assert spec_path[1].used_cookie  # the chain actually exercised cookies
+
+    def test_legacy_ctor_warns_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="SessionSpec"):
+            StreamingSession(
+                conditions=TESTBED,
+                scheme=Scheme.BASELINE,
+                origin=make_origin(),
+                stream_name="demo",
+                seed=1,
+            )
+
+    def test_from_spec_does_not_warn(self):
+        spec = SessionSpec(conditions=TESTBED, scheme=Scheme.BASELINE, seed=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            StreamingSession.from_spec(spec, make_origin(), "demo")
+
+
+class TestSpecSemantics:
+    def test_spec_is_frozen(self):
+        spec = SessionSpec(conditions=TESTBED, scheme=Scheme.WIRA)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.seed = 99  # type: ignore[misc]
+
+    def test_with_returns_modified_copy(self):
+        spec = SessionSpec(conditions=TESTBED, scheme=Scheme.WIRA, seed=1)
+        other = spec.with_(seed=2, epoch=60.0)
+        assert (spec.seed, spec.epoch) == (1, 0.0)
+        assert (other.seed, other.epoch) == (2, 60.0)
+        assert other.conditions is spec.conditions
+
+    def test_session_exposes_its_spec(self):
+        spec = SessionSpec(conditions=TESTBED, scheme=Scheme.WIRA, seed=4)
+        session = StreamingSession.from_spec(spec, make_origin(), "demo")
+        assert session.spec is spec
+
+    def test_reuse_spec_is_deterministic(self):
+        spec = SessionSpec(conditions=TESTBED, scheme=Scheme.WIRA, seed=9)
+        a = StreamingSession.from_spec(spec, make_origin(), "demo").run()
+        b = StreamingSession.from_spec(spec, make_origin(), "demo").run()
+        assert a == b

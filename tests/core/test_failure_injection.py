@@ -8,7 +8,7 @@ malformed or truncated streams.
 import pytest
 
 from repro.cdn.origin import Origin
-from repro.cdn.session import StreamingSession
+from repro.cdn.session import SessionSpec, StreamingSession
 from repro.core.cookie_crypto import CookieError, CookieSealer
 from repro.core.frame_perception import FrameParser
 from repro.core.parser_backends import UnknownProtocolError
@@ -110,8 +110,8 @@ class TestCookieHostileInput:
         # Adversarial client plants a fabricated "1 Gbps" cookie.
         fake = HxQos(min_rtt=0.001, max_bw_bps=1e9, timestamp=1e12).encode()
         store.update("origin", b"\x00" * 12 + fake + b"\x00" * 16, received_at=0.0)
-        session = StreamingSession(
-            TESTBED, Scheme.WIRA, origin, "s", cookie_store=store, seed=3
+        session = StreamingSession.from_spec(
+            SessionSpec(TESTBED, Scheme.WIRA, seed=3), origin, "s", cookie_store=store
         )
         result = session.run()
         assert result.completed
@@ -129,8 +129,8 @@ class TestSessionRobustness:
         )
         origin = Origin()
         origin.add_stream("s", StreamProfile(first_frame_target_bytes=20_000, seed=2))
-        session = StreamingSession(
-            dead, Scheme.BASELINE, origin, "s", seed=4, timeout=3.0
+        session = StreamingSession.from_spec(
+            SessionSpec(dead, Scheme.BASELINE, seed=4, timeout=3.0), origin, "s"
         )
         result = session.run()
         assert not result.completed
@@ -139,9 +139,10 @@ class TestSessionRobustness:
     def test_unsupported_client_session_still_works(self):
         origin = Origin()
         origin.add_stream("s", StreamProfile(first_frame_target_bytes=30_000, seed=3))
-        session = StreamingSession(
-            TESTBED, Scheme.WIRA, origin, "s",
-            client_supports_cookies=False, seed=5,
+        session = StreamingSession.from_spec(
+            SessionSpec(TESTBED, Scheme.WIRA, client_supports_cookies=False, seed=5),
+            origin,
+            "s",
         )
         result = session.run()
         assert result.completed

@@ -11,7 +11,7 @@ import pytest
 
 from repro import obs
 from repro.cdn.origin import Origin
-from repro.cdn.session import StreamingSession
+from repro.cdn.session import SessionSpec, StreamingSession
 from repro.core.cookie_crypto import CookieError, CookieSealer
 from repro.core.initializer import Scheme
 from repro.core.transport_cookie import (
@@ -210,28 +210,22 @@ def run_faulted(plan, seed=3, scheme=Scheme.WIRA):
     store = ClientCookieStore()
     manager = ServerCookieManager(KEY)
     origin = make_origin()
-    prime = StreamingSession(
+    prime_spec = SessionSpec(
         conditions=CONDITIONS,
         scheme=scheme,
-        origin=origin,
-        stream_name="demo",
         handshake_mode=HandshakeMode.ZERO_RTT,
-        cookie_store=store,
-        cookie_manager=manager,
         seed=seed,
+    )
+    prime = StreamingSession.from_spec(
+        prime_spec, origin, "demo", cookie_store=store, cookie_manager=manager
     ).run()
     assert prime.completed
-    result = StreamingSession(
-        conditions=CONDITIONS,
-        scheme=scheme,
-        origin=origin,
-        stream_name="demo",
-        handshake_mode=HandshakeMode.ZERO_RTT,
+    result = StreamingSession.from_spec(
+        prime_spec.with_(seed=seed + 1, epoch=5.0, fault_plan=plan),
+        origin,
+        "demo",
         cookie_store=store,
         cookie_manager=manager,
-        seed=seed + 1,
-        epoch=5.0,
-        fault_plan=plan,
     ).run()
     return result
 

@@ -17,7 +17,7 @@ import pytest
 
 from repro import sanitize
 from repro.cdn.origin import Origin
-from repro.cdn.session import StreamingSession
+from repro.cdn.session import SessionSpec, StreamingSession
 from repro.core.initializer import Scheme
 from repro.media.source import StreamProfile
 from repro.quic.cc import make_controller
@@ -400,16 +400,14 @@ class TestSanitizedSession:
             StreamProfile(first_frame_target_bytes=66_000, seed=1,
                           complexity_sigma=0.02, size_jitter=0.02),
         )
-        session = StreamingSession(
+        spec = SessionSpec(
             conditions=NetworkConditions(
                 bandwidth_bps=8_000_000.0, rtt=0.050, loss_rate=0.0, buffer_bytes=25_000
             ),
             scheme=scheme,
-            origin=origin,
-            stream_name="demo",
             seed=3,
         )
-        return session.run()
+        return StreamingSession.from_spec(spec, origin, "demo").run()
 
     def test_wira_session_clean_with_all_hooks_live(self):
         with sanitize.sanitized() as san:

@@ -1,0 +1,141 @@
+"""Tests for the ``tools/wira_fleet`` CLI: run / resume / status / report.
+
+Campaigns are tiny but real — every test replays actual sessions — and
+the determinism assertions compare the same report hash the CI smoke
+job checks.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet import CheckpointState, FleetConfig, run_chunk, save_checkpoint
+from repro.workload import DeploymentConfig
+from tools.wira_fleet.cli import EXIT_FAILED, EXIT_OK, main
+
+SMALL = [
+    "--od-pairs", "4", "--seed", "3",
+    "--schemes", "baseline", "wira",
+    "--chunk-chains", "2",
+]
+
+
+def small_config():
+    return FleetConfig(
+        population=DeploymentConfig(n_od_pairs=4, seed=3),
+        schemes=("baseline", "wira"),
+        chunk_chains=2,
+    )
+
+
+def read_report(path):
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+class TestRun:
+    def test_run_writes_report_and_checkpoint(self, tmp_path, capsys):
+        checkpoint = tmp_path / "cp.json"
+        out = tmp_path / "report.json"
+        code = main(
+            ["run", *SMALL, "--quiet",
+             "--checkpoint", str(checkpoint), "--out", str(out)]
+        )
+        assert code == EXIT_OK
+        report = read_report(out)
+        assert report["total_sessions"] > 0
+        assert set(report["schemes"]) == {"baseline", "wira"}
+        assert checkpoint.exists()
+        assert "report hash:" in capsys.readouterr().out
+
+    def test_serial_and_sharded_reports_identical(self, tmp_path):
+        """The CLI-level determinism check CI runs on every push."""
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["run", *SMALL, "--quiet", "--jobs", "1", "--out", str(a)]) == EXIT_OK
+        assert main(["run", *SMALL, "--quiet", "--jobs", "2", "--out", str(b)]) == EXIT_OK
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestResume:
+    def test_resume_completes_partial_campaign(self, tmp_path):
+        config = small_config()
+        checkpoint = tmp_path / "cp.json"
+        save_checkpoint(
+            checkpoint,
+            CheckpointState(
+                key=config.key(),
+                config=config.to_json(),
+                n_chunks=config.n_chunks,
+                chunks={0: run_chunk(config, 0)},
+            ),
+        )
+        resumed_out = tmp_path / "resumed.json"
+        code = main(
+            ["resume", "--checkpoint", str(checkpoint),
+             "--quiet", "--out", str(resumed_out)]
+        )
+        assert code == EXIT_OK
+
+        # Byte-identical to an uninterrupted CLI run of the same campaign.
+        fresh_out = tmp_path / "fresh.json"
+        assert main(["run", *SMALL, "--quiet", "--out", str(fresh_out)]) == EXIT_OK
+        assert resumed_out.read_bytes() == fresh_out.read_bytes()
+
+    def test_resume_without_checkpoint_fails(self, tmp_path, capsys):
+        code = main(["resume", "--checkpoint", str(tmp_path / "nope.json"), "--quiet"])
+        assert code == EXIT_FAILED
+        assert "no usable checkpoint" in capsys.readouterr().err
+
+
+class TestStatusAndReport:
+    @pytest.fixture()
+    def partial_checkpoint(self, tmp_path):
+        config = small_config()
+        path = tmp_path / "cp.json"
+        save_checkpoint(
+            path,
+            CheckpointState(
+                key=config.key(),
+                config=config.to_json(),
+                n_chunks=config.n_chunks,
+                chunks={0: run_chunk(config, 0)},
+            ),
+        )
+        return path
+
+    def test_status_reports_progress(self, partial_checkpoint, capsys):
+        assert main(["status", "--checkpoint", str(partial_checkpoint)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "chunks:    1/2 completed" in out
+        assert "resumable" in out
+
+    def test_status_on_missing_checkpoint_fails(self, tmp_path, capsys):
+        code = main(["status", "--checkpoint", str(tmp_path / "nope.json")])
+        assert code == EXIT_FAILED
+
+    def test_report_refuses_partial_without_flag(self, partial_checkpoint, capsys):
+        code = main(["report", "--checkpoint", str(partial_checkpoint)])
+        assert code == EXIT_FAILED
+        assert "incomplete" in capsys.readouterr().err
+
+    def test_partial_report_flagged(self, partial_checkpoint, tmp_path):
+        out = tmp_path / "partial.json"
+        code = main(
+            ["report", "--checkpoint", str(partial_checkpoint),
+             "--partial", "--out", str(out)]
+        )
+        assert code == EXIT_OK
+        report = read_report(out)
+        assert report["partial"] == {"chunks_completed": 1, "chunks_total": 2}
+
+    def test_report_matches_run_output(self, tmp_path):
+        checkpoint = tmp_path / "cp.json"
+        run_out = tmp_path / "run.json"
+        assert main(
+            ["run", *SMALL, "--quiet",
+             "--checkpoint", str(checkpoint), "--out", str(run_out)]
+        ) == EXIT_OK
+        report_out = tmp_path / "report.json"
+        assert main(
+            ["report", "--checkpoint", str(checkpoint), "--out", str(report_out)]
+        ) == EXIT_OK
+        assert run_out.read_bytes() == report_out.read_bytes()

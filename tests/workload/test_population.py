@@ -76,3 +76,90 @@ def test_seeds_unique_across_sessions():
     specs = make_deployment(n_od_pairs=200).sessions()
     seeds = [s.seed for s in specs]
     assert len(set(seeds)) == len(seeds)
+
+
+# ---------------------------------------------------------------------------
+# PR 5: streaming iteration and the index-addressable fleet population.
+
+
+def test_iter_chains_matches_generate():
+    """Streaming and materialized iteration are the same deployment."""
+    dep = make_deployment(n_od_pairs=60, seed=11)
+    assert list(dep.iter_chains()) == dep.generate()
+
+
+def test_iter_chains_restarts_cleanly():
+    """Each pass over the generator restarts the OD stream from scratch."""
+    dep = make_deployment(n_od_pairs=40, seed=5)
+    assert list(dep.iter_chains()) == list(dep.iter_chains())
+
+
+def test_session_spec_alias_is_planned_session():
+    from repro.workload.population import PlannedSession, SessionSpec
+
+    assert SessionSpec is PlannedSession
+
+
+class TestFleetPopulation:
+    def make_fleet(self, **kwargs):
+        from repro.workload.population import FleetPopulation
+
+        defaults = dict(n_od_pairs=50, seed=7)
+        defaults.update(kwargs)
+        return FleetPopulation(DeploymentConfig(**defaults))
+
+    def test_random_access_matches_iteration(self):
+        fleet = self.make_fleet()
+        iterated = list(fleet.iter_chains())
+        assert [fleet.chain(i) for i in range(50)] == iterated
+
+    def test_chain_independent_of_access_order(self):
+        """chain(i) is a pure function of (seed, i): reading other chains
+        first must not perturb it — the property sharding relies on."""
+        fleet = self.make_fleet()
+        direct = fleet.chain(17)
+        fleet.chain(3)
+        fleet.chain(42)
+        assert fleet.chain(17) == direct
+        assert self.make_fleet().chain(17) == direct
+
+    def test_partial_range_iteration(self):
+        fleet = self.make_fleet()
+        whole = list(fleet.iter_chains())
+        assert list(fleet.iter_chains(10, 20)) == whole[10:20]
+
+    def test_od_ids_are_indices(self):
+        fleet = self.make_fleet()
+        for i in (0, 13, 49):
+            chain = fleet.chain(i)
+            assert all(planned.od.od_id == i for planned in chain)
+
+    def test_out_of_range_raises(self):
+        fleet = self.make_fleet()
+        with pytest.raises(IndexError):
+            fleet.chain(50)
+        with pytest.raises(IndexError):
+            fleet.chain(-1)
+
+    def test_iter_sessions_flattens_in_order(self):
+        fleet = self.make_fleet(n_od_pairs=12)
+        flat = list(fleet.iter_sessions())
+        assert flat == [p for chain in fleet.iter_chains() for p in chain]
+
+    def test_seeds_unique_across_fleet(self):
+        fleet = self.make_fleet(n_od_pairs=200)
+        seeds = [p.seed for p in fleet.iter_sessions()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_distribution_matches_deployment_statistics(self):
+        """Same chain model, different seeding: summary statistics of the
+        fleet flavour must stay in the deployment's calibrated bands."""
+        fleet = self.make_fleet(n_od_pairs=400)
+        sessions = list(fleet.iter_sessions())
+        frac_0rtt = sum(
+            1 for s in sessions if s.handshake_mode == HandshakeMode.ZERO_RTT
+        ) / len(sessions)
+        assert 0.85 < frac_0rtt < 0.95
+        lengths = [len(c) for c in fleet.iter_chains()]
+        assert max(lengths) <= DeploymentConfig().max_sessions_per_od
+        assert min(lengths) >= 1

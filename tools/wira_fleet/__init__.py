@@ -1,0 +1,1 @@
+"""wira-fleet: campaign runner CLI (run / resume / status / report)."""

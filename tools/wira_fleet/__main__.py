@@ -1,0 +1,8 @@
+"""Entry point for ``python -m tools.wira_fleet``."""
+
+import sys
+
+from tools.wira_fleet.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,266 @@
+"""Command line front end: ``python -m tools.wira_fleet <cmd> ...``.
+
+Commands
+--------
+``run``
+    Start a fresh campaign (overwriting any checkpoint at the path).
+``resume``
+    Continue an interrupted campaign from its checkpoint.
+``status``
+    Inspect a checkpoint: chunks done, sessions folded so far.
+``report``
+    Build the deterministic JSON report from a checkpoint — complete
+    campaigns only, unless ``--partial`` asks for a best-effort summary
+    of the completed chunks.
+
+Exit codes: 0 success, 1 campaign/validation errors (mismatched or
+missing checkpoint, incomplete campaign without ``--partial``),
+2 usage/IO errors (argparse errors, unreadable paths).
+
+The tool is stdlib-only: it imports the in-repo ``repro`` packages
+(adding ``<repo>/src`` to ``sys.path`` when not already importable) and
+nothing else.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+EXIT_OK = 0
+EXIT_FAILED = 1
+EXIT_ERROR = 2
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _ensure_repro_importable() -> None:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+
+_ensure_repro_importable()
+
+from repro.fleet.aggregate import merge_chunks  # noqa: E402
+from repro.fleet.checkpoint import load_checkpoint  # noqa: E402
+from repro.fleet.engine import (  # noqa: E402
+    DEFAULT_SCHEMES,
+    CampaignMismatchError,
+    FleetConfig,
+    run_campaign,
+)
+from repro.fleet.report import build_report, canonical_json, report_hash  # noqa: E402
+from repro.workload.population import DeploymentConfig  # noqa: E402
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+
+
+def _progress_printer(quiet: bool):
+    if quiet:
+        return None
+
+    def emit(done: int, total: int, sessions: int) -> None:
+        print(f"\r  chunks {done}/{total}  sessions {sessions}", end="", flush=True)
+        if done == total:
+            print()
+
+    return emit
+
+
+def _config_from_args(args: argparse.Namespace) -> FleetConfig:
+    population = DeploymentConfig(n_od_pairs=args.od_pairs, seed=args.seed)
+    return FleetConfig(
+        population=population,
+        schemes=tuple(args.schemes),
+        chunk_chains=args.chunk_chains,
+        checkpoint_every=args.checkpoint_every,
+        sketch_alpha=args.alpha,
+    )
+
+
+def _emit_report(report: dict, out: Optional[str]) -> None:
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if out:
+        Path(out).write_text(text + "\n", encoding="utf-8")
+        print(f"report written to {out}")
+    else:
+        print(text)
+    print(f"report hash: {report_hash(report)}")
+
+
+def _finish(config: FleetConfig, aggregate, args: argparse.Namespace) -> int:
+    report = build_report(aggregate, config.key())
+    _emit_report(report, args.out)
+    return EXIT_OK
+
+
+# ---------------------------------------------------------------------------
+# Commands
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    checkpoint = Path(args.checkpoint) if args.checkpoint else None
+    aggregate = run_campaign(
+        config,
+        checkpoint_path=checkpoint,
+        jobs=args.jobs,
+        resume=False,
+        progress=_progress_printer(args.quiet),
+    )
+    return _finish(config, aggregate, args)
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    checkpoint = Path(args.checkpoint)
+    state = load_checkpoint(checkpoint)
+    if state is None:
+        print(f"error: no usable checkpoint at {checkpoint}", file=sys.stderr)
+        return EXIT_FAILED
+    config = FleetConfig.from_json(state.config)
+    try:
+        aggregate = run_campaign(
+            config,
+            checkpoint_path=checkpoint,
+            jobs=args.jobs,
+            resume=True,
+            progress=_progress_printer(args.quiet),
+        )
+    except CampaignMismatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    return _finish(config, aggregate, args)
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    checkpoint = Path(args.checkpoint)
+    state = load_checkpoint(checkpoint)
+    if state is None:
+        print(f"error: no usable checkpoint at {checkpoint}", file=sys.stderr)
+        return EXIT_FAILED
+    config = FleetConfig.from_json(state.config)
+    sessions = sum(
+        int(scheme_payload["sessions"])
+        for payload in state.chunks.values()
+        for scheme_payload in payload["schemes"].values()
+    )
+    done = len(state.chunks)
+    print(f"campaign:  {state.key}")
+    print(f"chains:    {config.population.n_od_pairs} OD pairs, seed {config.population.seed}")
+    print(f"schemes:   {', '.join(config.schemes)}")
+    print(f"chunks:    {done}/{state.n_chunks} completed")
+    print(f"sessions:  {sessions} folded")
+    print(f"state:     {'complete' if state.complete else 'resumable'}")
+    return EXIT_OK
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    checkpoint = Path(args.checkpoint)
+    state = load_checkpoint(checkpoint)
+    if state is None:
+        print(f"error: no usable checkpoint at {checkpoint}", file=sys.stderr)
+        return EXIT_FAILED
+    config = FleetConfig.from_json(state.config)
+    if not state.complete and not args.partial:
+        print(
+            f"error: campaign incomplete ({len(state.chunks)}/{state.n_chunks} "
+            f"chunks); rerun with --partial for a best-effort summary "
+            f"or resume the campaign",
+            file=sys.stderr,
+        )
+        return EXIT_FAILED
+    ordered = [state.chunks[i] for i in sorted(state.chunks)]
+    aggregate = merge_chunks(config.schemes, config.sketch_alpha, ordered)
+    report = build_report(aggregate, state.key)
+    if not state.complete:
+        report["partial"] = {
+            "chunks_completed": len(state.chunks),
+            "chunks_total": state.n_chunks,
+        }
+    _emit_report(report, args.out)
+    return EXIT_OK
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+
+
+def _add_report_out(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the JSON report here instead of stdout",
+    )
+
+
+def _add_exec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: WIRA_JOBS, else 1)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+    _add_report_out(parser)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="wira-fleet",
+        description="Fleet-scale campaign runner for the Wira reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="start a fresh campaign")
+    run.add_argument("--od-pairs", type=int, default=1000, metavar="N",
+                     help="OD chains in the population (default 1000)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--schemes", nargs="+", default=list(DEFAULT_SCHEMES),
+                     metavar="SCHEME", help=f"schemes to replay (default: all of {', '.join(DEFAULT_SCHEMES)})")
+    run.add_argument("--chunk-chains", type=int, default=25, metavar="N",
+                     help="chains per work unit (default 25)")
+    run.add_argument("--checkpoint-every", type=int, default=4, metavar="N",
+                     help="chunks between checkpoint writes (default 4)")
+    run.add_argument("--alpha", type=float, default=0.01,
+                     help="sketch relative-error bound (default 0.01)")
+    run.add_argument("--checkpoint", metavar="PATH", default=None,
+                     help="checkpoint file (enables resume after interruption)")
+    _add_exec_args(run)
+    run.set_defaults(func=cmd_run)
+
+    resume = sub.add_parser("resume", help="continue from a checkpoint")
+    resume.add_argument("--checkpoint", metavar="PATH", required=True)
+    _add_exec_args(resume)
+    resume.set_defaults(func=cmd_resume)
+
+    status = sub.add_parser("status", help="inspect a checkpoint")
+    status.add_argument("--checkpoint", metavar="PATH", required=True)
+    status.set_defaults(func=cmd_status)
+
+    report = sub.add_parser("report", help="build the report from a checkpoint")
+    report.add_argument("--checkpoint", metavar="PATH", required=True)
+    report.add_argument("--partial", action="store_true",
+                        help="allow a best-effort report of an incomplete campaign")
+    _add_report_out(report)
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+if __name__ == "__main__":
+    sys.exit(main())

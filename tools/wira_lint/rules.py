@@ -30,6 +30,8 @@ TYPED_ZONE: Tuple[str, ...] = (
     "src/repro/quic",
     "src/repro/simnet",
     "src/repro/faults",
+    "src/repro/fleet",
+    "src/repro/runtime",
 )
 
 #: Whole-package zone for the style/structure rules.
@@ -171,6 +173,14 @@ SLOTS_REGISTRY = frozenset(
         "Link",
         "Pacer",
         "SentPacket",
+        # Fleet-scale streaming accumulators: allocated per campaign but
+        # fold()/add() run once per session across 10^5–10^6 sessions.
+        "CampaignAggregate",
+        "ExactSum",
+        "QuantileSketch",
+        "SchemeAggregate",
+        "SketchCdf",
+        "StatAccumulator",
     }
 )
 
