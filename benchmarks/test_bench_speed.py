@@ -1,8 +1,9 @@
-"""Speed benchmarks: EventLoop throughput and replay-engine wall clock.
+"""Speed benchmarks: kernel throughput and replay-engine wall clock.
 
 Unlike the figure benchmarks, these measure the *machinery*, not the
 paper's numbers.  Results accumulate into ``BENCH_speed.json`` at the
-repository root so CI can archive them run-over-run.
+repository root so CI can archive them run-over-run (schema v2; see
+``deployment_replay`` below for the per-axis speedup breakdown).
 
 Knobs (for CI smoke runs on small machines):
 
@@ -14,7 +15,9 @@ Knobs (for CI smoke runs on small machines):
 
 The parallel-vs-serial speedup assertion only applies when the machine
 actually has at least as many cores as workers; on smaller hosts the
-timings are still recorded.
+timings are still recorded (with ``cores`` alongside, so a reader — or
+the ``wira-perf`` ratchet — can tell an engine regression from a small
+host).
 """
 
 import json
@@ -24,10 +27,14 @@ from pathlib import Path
 
 from repro import obs, sanitize
 from repro.experiments import common, runner
+from repro.runtime import settings
+from repro.simnet.batch import BatchEventLoop
 from repro.simnet.engine import EventLoop
 from repro.workload.population import DeploymentConfig
 
 ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_speed.json"
+
+SCHEMA_VERSION = 2
 
 
 def _record(section, payload):
@@ -37,6 +44,7 @@ def _record(section, payload):
             data = json.loads(ARTIFACT.read_text())
         except ValueError:
             data = {}
+    data["schema_version"] = SCHEMA_VERSION
     data[section] = payload
     ARTIFACT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
@@ -93,6 +101,86 @@ class TestEventLoopThroughput:
         # Loose sanity floor — the optimised loop clears ~800k ev/s on a
         # single 2020s core; trip only on order-of-magnitude regressions.
         assert best > 150_000
+
+
+class TestBatchedKernelThroughput:
+    """Aggregate throughput of the batched multi-session kernel.
+
+    Many member loops share one :class:`BatchEventLoop`; each member
+    runs the solo bench's mixed workload (fire-and-forget tick chains,
+    mostly-cancelled timers) *plus* ``post_burst`` trains of
+    back-to-back events — the shape aggregate drivers hand to the
+    kernel's burst lane.  The reported number is aggregate
+    events/second across all members, the figure the perf ratchet
+    tracks for the batched kernel.
+    """
+
+    SESSIONS = 32
+    BURST = 256
+    TOTAL_EVENTS = 1_500_000
+
+    def _drive(self, total_events):
+        kernel = BatchEventLoop()
+        quota = total_events // self.SESSIONS
+        burst = self.BURST
+        payloads = list(range(burst))
+        sink = []
+
+        def arm(member, phase):
+            state = [quota, None]  # [events left, live timer]
+
+            def on_item(item):
+                pass
+
+            def tick():
+                if state[0] <= 0:
+                    return
+                state[0] -= burst + 2
+                now = member.now
+                # A link train: back-to-back serialisations are micro-
+                # second-scale, far tighter than the millisecond tick
+                # cadence, so a train drains contiguously the way a real
+                # fast-link burst does between protocol timers.
+                times = [now + 1e-8 * (i + 1) for i in range(burst)]
+                member.post_burst(times, on_item, payloads)
+                member.post_later(0.001, tick)
+                if state[1] is not None:
+                    state[1].cancel()
+                state[1] = member.call_later(5.0, lambda: None)
+
+            member.post_later(0.001 + phase, tick)
+            sink.append(state)
+
+        for index in range(self.SESSIONS):
+            arm(kernel.member(), index * 0.001 / self.SESSIONS)
+        start = time.perf_counter()
+        kernel.run()
+        elapsed = time.perf_counter() - start
+        return kernel.processed_events / elapsed, kernel.processed_events
+
+    def test_aggregate_throughput(self, capsys):
+        self._drive(60_000)  # warm-up
+        runs = [self._drive(self.TOTAL_EVENTS) for _ in range(3)]
+        best = max(r[0] for r in runs)
+        events = runs[0][1]
+        _record(
+            "batched_kernel",
+            {
+                "sessions": self.SESSIONS,
+                "burst_size": self.BURST,
+                "events": events,
+                "events_per_second": round(best),
+            },
+        )
+        with capsys.disabled():
+            print(
+                f"\nBatched kernel: {best:,.0f} events/s aggregate "
+                f"({self.SESSIONS} sessions, burst {self.BURST})"
+            )
+        # The burst lane clears several million events/s on a single
+        # 2020s core; trip only on order-of-magnitude regressions (the
+        # wira-perf ratchet guards the fine-grained number).
+        assert best > 500_000
 
 
 class TestSanitizerOverhead:
@@ -207,11 +295,31 @@ class TestTraceOverhead:
 
 class TestReplayWallClock:
     def test_serial_vs_parallel_headline(self, capsys):
+        """Three legs, two speedup axes (schema v2).
+
+        * ``v1_serial`` — the previous engine: solo event loop per
+          session, legacy two-event link path (both kernel knobs off).
+        * ``serial`` — the batched kernel + fast link, one process.
+        * ``parallel`` — the same, sharded over ``jobs`` workers with
+          chunk-of-chains tasks.
+
+        ``kernel_speedup`` isolates the kernel rewrite (v1 vs v2, both
+        serial); ``sharding_speedup`` isolates the chunked pool (serial
+        vs parallel, same code); ``speedup`` is their product — what a
+        user upgrading from the old engine at ``jobs`` workers sees.
+        """
         od_pairs = _bench_od_pairs()
         jobs = _bench_jobs()
         config = DeploymentConfig(
             n_od_pairs=od_pairs, seed=common.HEADLINE_CONFIG.seed
         )
+
+        with settings.overridden(batch=False, fast_link=False):
+            start = time.perf_counter()
+            v1 = runner.run_deployment(
+                config, common.EVAL_SCHEMES, use_cache=False, jobs=1
+            )
+            v1_serial_s = time.perf_counter() - start
 
         start = time.perf_counter()
         serial = runner.run_deployment(
@@ -226,7 +334,9 @@ class TestReplayWallClock:
         parallel_s = time.perf_counter() - start
 
         sessions = sum(len(v) for v in serial.values())
-        speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+        kernel_speedup = v1_serial_s / serial_s if serial_s > 0 else float("inf")
+        sharding_speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+        speedup = v1_serial_s / parallel_s if parallel_s > 0 else float("inf")
         cores = os.cpu_count() or 1
         _record(
             "deployment_replay",
@@ -235,29 +345,52 @@ class TestReplayWallClock:
                 "sessions_replayed": sessions,
                 "jobs": jobs,
                 "cores": cores,
+                "v1_serial_seconds": round(v1_serial_s, 3),
                 "serial_seconds": round(serial_s, 3),
                 "parallel_seconds": round(parallel_s, 3),
+                "kernel_speedup": round(kernel_speedup, 3),
+                "sharding_speedup": round(sharding_speedup, 3),
                 "speedup": round(speedup, 3),
+                "sessions_per_second": round(sessions / parallel_s, 3),
             },
         )
         with capsys.disabled():
             print(
                 f"\nReplay ({od_pairs} OD pairs, {sessions} sessions): "
-                f"serial {serial_s:.1f}s, parallel x{jobs} {parallel_s:.1f}s "
-                f"-> {speedup:.2f}x on {cores} core(s)"
+                f"v1 serial {v1_serial_s:.1f}s, v2 serial {serial_s:.1f}s "
+                f"(kernel {kernel_speedup:.2f}x), parallel x{jobs} "
+                f"{parallel_s:.1f}s -> {speedup:.2f}x total on {cores} core(s)"
             )
 
         # Identity first: speed means nothing if the records diverge.
+        # All three legs — old engine, new kernel, new kernel sharded —
+        # must produce byte-identical outcome sequences.
         for scheme in serial:
+            assert [o.result for o in v1[scheme]] == [
+                o.result for o in serial[scheme]
+            ]
             assert [o.result for o in serial[scheme]] == [
                 o.result for o in parallel[scheme]
             ]
-        # ≥2.5x is the acceptance bar for the 4-worker headline replay;
-        # with fewer workers (CI smoke) expect proportionally less.
+        # The shared-scheduler kernel pays a small single-process tax
+        # (the calendar queue and member bookkeeping run in Python,
+        # where the solo loop leans on C heapq) in exchange for the
+        # chunk-sharded parallel path and the aggregate burst-lane
+        # throughput.  Clean measurements put the tax at 5-13%, but a
+        # single-shot quotient of two ~minute legs swings ±10% on a
+        # busy box, so trip only past ~20% — enough to catch structural
+        # regressions (an uncapped 120-member wave measured 0.72) while
+        # the ratchet tracks the fine number run-over-run.
+        assert kernel_speedup > 0.80, (
+            f"batched kernel is {1/kernel_speedup:.2f}x slower than the "
+            f"solo loop it replaced"
+        )
+        # Speedup floors only bind when the host can physically deliver
+        # them: ≥1.8x total at 2 workers, ≥2.5x at 4.
         if cores >= jobs >= 2:
-            floor = 2.5 if jobs >= 4 else 1.3
+            floor = 2.5 if jobs >= 4 else 1.8
             assert speedup >= floor, (
-                f"parallel replay only {speedup:.2f}x faster with "
+                f"replay only {speedup:.2f}x faster than the v1 engine with "
                 f"{jobs} workers on {cores} cores (needed {floor}x)"
             )
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import obs as _obs
 from repro.cdn.client import ClientMetrics, WiraClient
@@ -35,7 +35,9 @@ from repro.faults import FaultInjector, FaultPlan
 from repro.quic.config import QuicConfig
 from repro.quic.connection import Connection, ConnectionStats, HandshakeMode, Role
 from repro.quic.handshake import TAG_HQST
+from repro.runtime import settings
 from repro.simnet.engine import EventLoop
+from repro.simnet.link import Datagram
 from repro.simnet.path import NetworkConditions, Path
 from repro.simnet.schedule import PathSchedule
 
@@ -123,6 +125,27 @@ class SessionResult:
         if k < 1 or k > len(self.frame_stats_snapshots):
             return None
         return self.frame_stats_snapshots[k - 1].data_loss_rate()
+
+
+@dataclass
+class LiveSession:
+    """A session's live topology between ``_setup`` and ``_finalize``.
+
+    Holding these as one value lets the solo driver and the batched
+    driver (:mod:`repro.cdn.batchrun`) share the exact same construction
+    and teardown code, differing only in *how* the event loop between
+    them is advanced.
+    """
+
+    conditions: NetworkConditions
+    injector: Optional[FaultInjector]
+    path: Path
+    server_conn: Connection
+    client_conn: Connection
+    server: WiraServer
+    client: WiraClient
+    ff_stats: List[ConnectionStats]
+    frame_snapshots: List[ConnectionStats]
 
 
 class StreamingSession:
@@ -247,11 +270,38 @@ class StreamingSession:
 
     def _run(self) -> SessionResult:
         loop = EventLoop()
+        live = self._setup(loop)
+        self._run_until_done(loop, live.client)
+
+        # End-of-session synchronisation: push a final cookie so the
+        # *next* session of this OD pair has fresh Hx_QoS, then drain.
+        pushed = False
+        if live.client.done and self.client_supports_cookies:
+            pushed = live.server.flush_cookie()
+            if pushed:
+                drained = loop.now + max(4 * self.conditions.rtt, 0.2)
+                self._run_until(loop, drained)
+        cookie_delivered = pushed and live.client.metrics.cookies_received > 0
+        return self._finalize(live, cookie_delivered)
+
+    def _setup(self, loop: EventLoop) -> "LiveSession":
+        """Construct the full session topology on ``loop``.
+
+        Everything through ``client.start()`` happens here, in exactly
+        the historical order (the session rng is consumed in a fixed
+        sequence, so moving any construction step would change every
+        seeded replay).  ``loop`` may be a solo ``EventLoop`` or a
+        :class:`repro.simnet.batch.MemberLoop` — the session only uses
+        the shared scheduling surface.
+        """
         rng = random.Random(self.seed)
         conditions = self.conditions
         if self.schedule is not None:
             conditions = self.schedule.initial_conditions(conditions)
-        path = Path(loop, conditions, rng=random.Random(rng.getrandbits(48)))
+        # Batched link admission needs conditions that never change
+        # mid-run; only a PathSchedule can change them.
+        fast = self.schedule is None and settings.current().fast_link
+        path = Path(loop, conditions, rng=random.Random(rng.getrandbits(48)), fast=fast)
 
         # Every adverse-path draw below is conditional so that sessions
         # without a schedule or fault plan consume the session rng in
@@ -259,12 +309,20 @@ class StreamingSession:
         injector: Optional[FaultInjector] = None
         send_to_client = path.send_to_client
         send_to_server = path.send_to_server
+        # Train-transmit hooks only without an injector: the injector
+        # wraps sends one datagram at a time.
+        burst_to_client: Optional[Callable[[Sequence[Datagram]], List[bool]]]
+        burst_to_server: Optional[Callable[[Sequence[Datagram]], List[bool]]]
+        burst_to_client = path.forward.send_burst
+        burst_to_server = path.reverse.send_burst
         if self.fault_plan is not None:
             injector = FaultInjector(
                 self.fault_plan, loop, random.Random(rng.getrandbits(48))
             )
             send_to_client = injector.wrap_send(path.send_to_client, "to_client")
             send_to_server = injector.wrap_send(path.send_to_server, "to_server")
+            burst_to_client = None
+            burst_to_server = None
         if self.schedule is not None and not self.schedule.is_inert:
             self.schedule.install(loop, path, random.Random(rng.getrandbits(48)))
 
@@ -274,6 +332,7 @@ class StreamingSession:
             send_to_client,
             self.quic_config,
             rng=random.Random(rng.getrandbits(48)),
+            send_burst=burst_to_client,
         )
         hqst = WiraClient.build_hqst_tag(
             self.cookie_store, origin_id="origin", supported=self.client_supports_cookies
@@ -288,6 +347,7 @@ class StreamingSession:
             handshake_mode=self.handshake_mode,
             handshake_tags={TAG_HQST: hqst},
             rng=random.Random(rng.getrandbits(48)),
+            send_burst=burst_to_server,
         )
         path.deliver_to_server = server_conn.datagram_received
         path.deliver_to_client = client_conn.datagram_received
@@ -329,39 +389,41 @@ class StreamingSession:
         )
 
         client.start()
-        self._run_until_done(loop, client)
+        return LiveSession(
+            conditions=conditions,
+            injector=injector,
+            path=path,
+            server_conn=server_conn,
+            client_conn=client_conn,
+            server=server,
+            client=client,
+            ff_stats=ff_stats,
+            frame_snapshots=frame_snapshots,
+        )
 
-        # End-of-session synchronisation: push a final cookie so the
-        # *next* session of this OD pair has fresh Hx_QoS, then drain.
-        cookie_delivered = False
-        if client.done and self.client_supports_cookies:
-            pushed = server.flush_cookie()
-            if pushed:
-                drained = loop.now + max(4 * self.conditions.rtt, 0.2)
-                self._run_until(loop, drained)
-                cookie_delivered = client.metrics.cookies_received > 0
-
-        server_min_rtt = server_conn.measured_min_rtt()
-        server_max_bw = server_conn.measured_max_bw()
-        server.close()
-        client_conn.close()
+    def _finalize(self, live: "LiveSession", cookie_delivered: bool) -> SessionResult:
+        """Snapshot metrics, close the connections, build the result."""
+        server_min_rtt = live.server_conn.measured_min_rtt()
+        server_max_bw = live.server_conn.measured_max_bw()
+        live.server.close()
+        live.client_conn.close()
 
         return SessionResult(
             scheme=self.scheme,
             handshake_mode=self.handshake_mode,
-            conditions=conditions,
-            completed=client.done,
-            client_metrics=client.metrics,
-            ff_size_parsed=server.state.ff_size,
-            initial_params=server.state.initial_params,
-            ff_server_stats=ff_stats[0] if ff_stats else None,
-            final_server_stats=server_conn.stats.snapshot(),
-            frame_stats_snapshots=frame_snapshots,
+            conditions=live.conditions,
+            completed=live.client.done,
+            client_metrics=live.client.metrics,
+            ff_size_parsed=live.server.state.ff_size,
+            initial_params=live.server.state.initial_params,
+            ff_server_stats=live.ff_stats[0] if live.ff_stats else None,
+            final_server_stats=live.server_conn.stats.snapshot(),
+            frame_stats_snapshots=live.frame_snapshots,
             cookie_delivered=cookie_delivered,
-            used_cookie=server.state.hx_qos is not None,
+            used_cookie=live.server.state.hx_qos is not None,
             server_min_rtt=server_min_rtt,
             server_max_bw=server_max_bw,
-            fault_summary=dict(injector.counters) if injector is not None else None,
+            fault_summary=dict(live.injector.counters) if live.injector is not None else None,
         )
 
     def _run_until_done(self, loop: EventLoop, client: WiraClient) -> None:

@@ -18,18 +18,29 @@ Three layers sit between a caller and a raw replay:
    stale cache file is silently discarded and recomputed — the cache can
    never turn a valid run into a crash.  Set ``WIRA_DISK_CACHE=0`` to
    disable.
-3. **Process-pool sharding** — the (scheme × chain) work units of a
-   deployment are independent: each chain owns its cookie store, origin
-   and per-session seeds.  With ``jobs > 1`` (or ``WIRA_JOBS=N``) the
-   units are fanned out across a :class:`~concurrent.futures.ProcessPoolExecutor`
-   and merged back in deterministic (scheme, chain) order, so parallel
-   results are bit-identical to the serial path.  Any pool failure
-   (unpicklable state, broken workers, sandboxes without fork) falls
-   back to the in-process serial replay.
+3. **Process-pool sharding** — the work units of a deployment are
+   independent: each chain owns its cookie store, origin and per-session
+   seeds.  With ``jobs > 1`` (or ``WIRA_JOBS=N``) the deployment is cut
+   into **chunk-of-chains** tasks — ``(config, scheme, lo, hi)`` index
+   ranges, regenerated inside each worker from the deployment seed via
+   :meth:`~repro.workload.population.Deployment.generate_range` — fanned
+   out across one *persistent* :class:`~concurrent.futures.ProcessPoolExecutor`
+   (module-scoped, keyed by the job count, reused across every replay of
+   a pytest session) and merged back in deterministic (scheme, chain)
+   order, so parallel results are bit-identical to the serial path.  Any
+   pool failure (unpicklable state, broken workers, sandboxes without
+   fork) falls back to the in-process serial replay.
+
+Serial replays themselves run through the batched multi-session kernel
+(:mod:`repro.cdn.batchrun`) when ``WIRA_BATCH`` is on (the default):
+wave *k* batches the *k*-th session of every chain into one
+:class:`~repro.simnet.batch.BatchEventLoop`, preserving the cookie
+hand-off within each chain and producing byte-identical records.
 """
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import logging
 import multiprocessing
@@ -60,32 +71,73 @@ _SOURCE_FINGERPRINT: Optional[str] = None
 
 
 # ---------------------------------------------------------------------------
-# Worker pool plumbing.  Chains are regenerated inside each worker from the
-# (picklable) DeploymentConfig — generation is pure sampling, far cheaper
-# than shipping the chains over the pipe.
+# Worker pool plumbing.  Workers receive (config, scheme, index-range)
+# tasks and regenerate their chains from the deployment seed — generation
+# is pure sampling, far cheaper than shipping pickled chains over the
+# pipe, and a per-worker cache reuses one range across the schemes that
+# replay it.
 
-_WORKER_STATE: dict = {}
-
-
-def _worker_init(config: DeploymentConfig, wira_config: WiraConfig) -> None:
-    _WORKER_STATE["chains"] = Deployment(config).generate()
-    _WORKER_STATE["config"] = config
-    _WORKER_STATE["wira_config"] = wira_config
+_WORKER_CHAIN_CACHE: dict = {}
 
 
-def _replay_unit(unit: Tuple[str, int]):
-    from repro.experiments.common import _run_chain
+def _worker_chains(config: DeploymentConfig, lo: int, hi: int):
+    """Chains for OD range [lo, hi), cached per (config, range) in-worker."""
+    config_key = repr(sorted(vars(config).items()))
+    cache_key_ = (config_key, lo, hi)
+    chains = _WORKER_CHAIN_CACHE.get(cache_key_)
+    if chains is None:
+        if _WORKER_CHAIN_CACHE and next(iter(_WORKER_CHAIN_CACHE))[0] != config_key:
+            # New deployment config: ranges of the old one are dead weight.
+            _WORKER_CHAIN_CACHE.clear()
+        chains = Deployment(config).generate_range(lo, hi)
+        _WORKER_CHAIN_CACHE[cache_key_] = chains
+    return chains
 
-    scheme_value, chain_index = unit
-    with _trace_shard(scheme_value, chain_index):
-        outcomes = _run_chain(
-            Scheme(scheme_value),
-            _WORKER_STATE["chains"][chain_index],
-            chain_index,
-            _WORKER_STATE["config"],
-            _WORKER_STATE["wira_config"],
-        )
-    return scheme_value, chain_index, outcomes
+
+def _replay_chunk(task: Tuple[DeploymentConfig, WiraConfig, str, int, int]):
+    """Worker entry: replay chains [lo, hi) under one scheme."""
+    config, wira_config, scheme_value, lo, hi = task
+    chains = _worker_chains(config, lo, hi)
+    outcomes = _replay_chains_one_scheme(
+        Scheme(scheme_value), chains, lo, config, wira_config
+    )
+    return scheme_value, lo, outcomes
+
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_JOBS = 0
+
+
+def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    """The persistent replay pool, recycled only when ``jobs`` changes.
+
+    Spawning workers is the dominant fixed cost of small parallel
+    replays; one module-scoped executor amortises it across every
+    deployment a pytest/benchmark session replays.
+    """
+    global _POOL, _POOL_JOBS
+    if _POOL is not None and _POOL_JOBS != jobs:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+    if _POOL is None:
+        mp_context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            mp_context = multiprocessing.get_context("fork")
+        _POOL = ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context)
+        _POOL_JOBS = jobs
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent pool (atexit, or after a pool failure)."""
+    global _POOL, _POOL_JOBS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_JOBS = 0
+
+
+atexit.register(shutdown_pool)
 
 
 def _trace_shard(scheme_value: str, chain_index: int) -> ContextManager[None]:
@@ -331,17 +383,76 @@ def _replay_serial(
     schemes: Sequence[Scheme],
     wira_config: WiraConfig,
 ) -> "DeploymentRecords":
-    from repro.experiments.common import _run_chain
-
     chains = Deployment(config).generate()
     records: "DeploymentRecords" = {scheme: [] for scheme in schemes}
     for scheme in schemes:
-        for chain_index, chain in enumerate(chains):
-            with _trace_shard(scheme.value, chain_index):
-                records[scheme].extend(
-                    _run_chain(scheme, chain, chain_index, config, wira_config)
-                )
+        records[scheme].extend(
+            _replay_chains_one_scheme(scheme, chains, 0, config, wira_config)
+        )
     return records
+
+
+def _replay_chains_one_scheme(
+    scheme: Scheme,
+    chains: list,
+    base_index: int,
+    config: DeploymentConfig,
+    wira_config: WiraConfig,
+) -> list:
+    """Replay a block of chains under one scheme, in chain order.
+
+    Dispatches to the batched kernel when enabled and no trace bus is
+    active; otherwise runs the legacy chain-by-chain reference path
+    (which is also the path that scopes per-chain trace shards).  Both
+    produce byte-identical outcome sequences.
+    """
+    if settings.current().batch and _obs.ACTIVE is None and len(chains) > 1:
+        return _replay_chains_batched(scheme, chains, base_index, config, wira_config)
+    from repro.experiments.common import _run_chain
+
+    outcomes: list = []
+    for offset, chain in enumerate(chains):
+        chain_index = base_index + offset
+        with _trace_shard(scheme.value, chain_index):
+            outcomes.extend(_run_chain(scheme, chain, chain_index, config, wira_config))
+    return outcomes
+
+
+def _replay_chains_batched(
+    scheme: Scheme,
+    chains: list,
+    base_index: int,
+    config: DeploymentConfig,
+    wira_config: WiraConfig,
+) -> list:
+    """Wave-batched replay: byte-identical to chain-by-chain solo runs.
+
+    The wave mechanics live in
+    :func:`repro.experiments.common.replay_chains_wave_batched` (shared
+    with the fleet engine); this wrapper flattens the per-chain lists
+    back into the chain-major order the serial path produces.
+    """
+    from repro.experiments.common import replay_chains_wave_batched
+
+    per_chain = replay_chains_wave_batched(
+        scheme, chains, base_index, config, wira_config
+    )
+    outcomes: list = []
+    for chain_outcomes in per_chain:
+        outcomes.extend(chain_outcomes)
+    return outcomes
+
+
+#: Ceiling on chains per parallel chunk: small enough to load-balance a
+#: headline replay across a handful of workers, large enough that the
+#: per-task (pickle + dispatch + regenerate) overhead stays negligible.
+MAX_CHUNK_CHAINS = 30
+
+
+def _chunk_bounds(n_od_pairs: int, jobs: int) -> List[Tuple[int, int]]:
+    """Cut [0, n_od_pairs) into balanced chunks for ``jobs`` workers."""
+    target = max(1, min(MAX_CHUNK_CHAINS, (n_od_pairs + 2 * jobs - 1) // (2 * jobs)))
+    return [(lo, min(lo + target, n_od_pairs)) for lo in range(0, n_od_pairs, target)]
 
 
 def _replay_parallel(
@@ -350,33 +461,40 @@ def _replay_parallel(
     wira_config: WiraConfig,
     jobs: int,
 ) -> "DeploymentRecords":
-    units = [
-        (scheme.value, chain_index)
+    bounds = _chunk_bounds(config.n_od_pairs, jobs)
+    tasks = [
+        (config, wira_config, scheme.value, lo, hi)
         for scheme in schemes
-        for chain_index in range(config.n_od_pairs)
+        for lo, hi in bounds
     ]
-    mp_context = None
-    if "fork" in multiprocessing.get_all_start_methods():
-        mp_context = multiprocessing.get_context("fork")
-    chunksize = max(1, len(units) // (jobs * 8))
-    by_unit: Dict[Tuple[str, int], list] = {}
-    with ProcessPoolExecutor(
-        max_workers=jobs,
-        mp_context=mp_context,
-        initializer=_worker_init,
-        initargs=(config, wira_config),
-    ) as pool:
-        for scheme_value, chain_index, outcomes in pool.map(
-            _replay_unit, units, chunksize=chunksize
-        ):
-            by_unit[(scheme_value, chain_index)] = outcomes
+    by_chunk: Dict[Tuple[str, int], list] = {}
+    if _tracing_to_disk():
+        # Trace runs need workers forked *after* the bus was installed;
+        # the persistent pool predates it, so use a dedicated pool.
+        mp_context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            mp_context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context) as pool:
+            for scheme_value, lo, outcomes in pool.map(_replay_chunk, tasks):
+                by_chunk[(scheme_value, lo)] = outcomes
+    else:
+        try:
+            pool = _get_pool(jobs)
+            for scheme_value, lo, outcomes in pool.map(_replay_chunk, tasks):
+                by_chunk[(scheme_value, lo)] = outcomes
+        except Exception:
+            # A broken pool poisons every later replay: recycle it before
+            # the caller falls back to serial.
+            shutdown_pool()
+            raise
 
-    # Merge in the serial path's (scheme, chain) order so the records —
-    # and any iteration over them — are bit-identical to a serial run.
+    # Merge in the serial path's (scheme, chain-range) order so the
+    # records — and any iteration over them — are bit-identical to a
+    # serial run.
     records: "DeploymentRecords" = {scheme: [] for scheme in schemes}
     for scheme in schemes:
-        for chain_index in range(config.n_od_pairs):
-            records[scheme].extend(by_unit[(scheme.value, chain_index)])
+        for lo, _hi in bounds:
+            records[scheme].extend(by_chunk[(scheme.value, lo)])
     return records
 
 

@@ -144,12 +144,33 @@ def run_chunk(config: FleetConfig, chunk_index: int) -> Dict[str, object]:
 
     Pure function of ``(config, chunk_index)`` — the determinism
     anchor everything else (sharding, checkpointing, resume) rests on.
+
+    When the batched kernel is enabled (``WIRA_BATCH``, the default) the
+    chunk's chains replay together per scheme in lock-step waves on one
+    :class:`~repro.simnet.batch.BatchEventLoop`; outcomes are buffered —
+    still O(chunk) memory — and folded in the exact ``(od, scheme,
+    session)`` order of the serial reference loop, so both paths yield
+    byte-identical aggregates.
     """
-    from repro.experiments.common import iter_chain_outcomes
+    from repro import obs as _obs
+    from repro.experiments.common import iter_chain_outcomes, replay_chains_wave_batched
 
     population = FleetPopulation(config.population)
     aggregate = CampaignAggregate(config.schemes, alpha=config.sketch_alpha)
     start, stop = config.chunk_bounds(chunk_index)
+    if settings.current().batch and _obs.ACTIVE is None and stop - start > 1:
+        chains = [population.chain(od_index) for od_index in range(start, stop)]
+        per_scheme = {
+            scheme_value: replay_chains_wave_batched(
+                Scheme(scheme_value), chains, start, config.population, config.wira
+            )
+            for scheme_value in config.schemes
+        }
+        for offset in range(stop - start):
+            for scheme_value in config.schemes:
+                for outcome in per_scheme[scheme_value][offset]:
+                    aggregate.fold(scheme_value, outcome.spec, outcome.result)
+        return aggregate.to_json()
     for od_index in range(start, stop):
         chain = population.chain(od_index)
         for scheme_value in config.schemes:

@@ -67,6 +67,7 @@ class LiveSource:
     def __init__(self, profile: StreamProfile) -> None:
         self.profile = profile
         self._complexity_cache: List[float] = []
+        self._jitter_cache: Dict[int, List[float]] = {}
         self._rng = random.Random(profile.seed)
         self._metadata_payload = encode_on_metadata(self._metadata())
 
@@ -139,8 +140,15 @@ class LiveSource:
         }
 
     def _jitter(self, gop_index: int, frame_index: int) -> float:
-        rng = random.Random(f"{self.profile.seed}:{gop_index}:{frame_index}:jit")
-        return math.exp(rng.gauss(0.0, self.profile.size_jitter))
+        # String-seeding runs sha512 per Random; GOPs are re-requested by
+        # every viewer of the stream, so memoise per (gop, frame).
+        per_gop = self._jitter_cache.get(gop_index)
+        if per_gop is None:
+            per_gop = self._jitter_cache[gop_index] = []
+        while len(per_gop) <= frame_index:
+            rng = random.Random(f"{self.profile.seed}:{gop_index}:{len(per_gop)}:jit")
+            per_gop.append(math.exp(rng.gauss(0.0, self.profile.size_jitter)))
+        return per_gop[frame_index]
 
     # ------------------------------------------------------------------
     # Public API

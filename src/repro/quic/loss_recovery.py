@@ -47,13 +47,31 @@ class LossRecovery:
         self.pto_count = 0
         self.bytes_in_flight = 0
         self._loss_time: Optional[float] = None
+        # Unresolved views of ``sent_packets``, insertion-ordered (packet
+        # numbers are assigned in send order, so iteration order == pn
+        # order).  Every query that used to scan ``sent_packets`` — PTO
+        # deadline, probe selection, oldest-unacked, loss detection —
+        # reads these instead, turning O(packets-ever-sent) scans into
+        # O(unresolved) or O(1) lookups.  Resolution (ack / loss) always
+        # happens inside this class, which is what keeps them exact.
+        self._unresolved: Dict[int, SentPacket] = {}
+        self._ae_unresolved: Dict[int, SentPacket] = {}
 
     def on_packet_sent(self, packet: SentPacket) -> None:
-        self.sent_packets[packet.packet_number] = packet
+        pn = packet.packet_number
+        self.sent_packets[pn] = packet
+        self._unresolved[pn] = packet
+        if packet.ack_eliciting:
+            self._ae_unresolved[pn] = packet
         if packet.in_flight:
             self.bytes_in_flight += packet.size
         if _sanitize.ACTIVE is not None:
             _sanitize.ACTIVE.note_sent_tracked(self, packet.packet_number)
+
+    def _resolve(self, pn: int) -> None:
+        """Drop a now-acked/lost packet from the unresolved views."""
+        self._unresolved.pop(pn, None)
+        self._ae_unresolved.pop(pn, None)
 
     def on_ack_received(self, ack: AckFrame, now: float) -> AckResult:
         """Process an ACK; updates RTT, detects losses, frees state."""
@@ -84,6 +102,7 @@ class LossRecovery:
         for pn in acked_numbers:
             packet = self.sent_packets[pn]
             packet.acked = True
+            self._resolve(pn)
             if packet.in_flight and not packet.lost:
                 self.bytes_in_flight -= packet.size
             result.newly_acked.append(packet)
@@ -101,21 +120,28 @@ class LossRecovery:
         return result
 
     def _detect_lost(self, now: float) -> List[SentPacket]:
-        if self.largest_acked is None:
+        largest_acked = self.largest_acked
+        if largest_acked is None:
             return []
         lost: List[SentPacket] = []
+        resolved_pns: List[int] = []
         loss_delay = self.rtt.loss_delay()
         self._loss_time = None
-        for packet in self.sent_packets.values():
-            if packet.resolved or packet.packet_number > self.largest_acked:
+        # pn-ordered, so everything past largest_acked is out of scope.
+        for pn, packet in self._unresolved.items():
+            if pn > largest_acked:
+                break
+            if packet.acked or packet.lost:
+                resolved_pns.append(pn)
                 continue
             if not packet.in_flight:
                 # ACK-only packets are not tracked for loss (RFC 9002 §2);
                 # resolve them silently once overtaken.
-                if self.largest_acked - packet.packet_number >= K_PACKET_THRESHOLD:
+                if largest_acked - pn >= K_PACKET_THRESHOLD:
                     packet.acked = True
+                    resolved_pns.append(pn)
                 continue
-            by_threshold = self.largest_acked - packet.packet_number >= K_PACKET_THRESHOLD
+            by_threshold = largest_acked - pn >= K_PACKET_THRESHOLD
             lost_deadline = packet.sent_time + loss_delay
             by_time = lost_deadline <= now
             if by_threshold or by_time:
@@ -123,8 +149,12 @@ class LossRecovery:
                 if packet.in_flight:
                     self.bytes_in_flight -= packet.size
                 lost.append(packet)
+                resolved_pns.append(pn)
             elif self._loss_time is None or lost_deadline < self._loss_time:
                 self._loss_time = lost_deadline
+        for pn in resolved_pns:
+            del self._unresolved[pn]
+            self._ae_unresolved.pop(pn, None)
         return lost
 
     def check_loss_timer(self, now: float) -> List[SentPacket]:
@@ -136,20 +166,30 @@ class LossRecovery:
         """Earliest time a pending time-threshold loss will be declared."""
         return self._loss_time
 
+    def _newest_ack_eliciting(self) -> Optional[SentPacket]:
+        """Newest unresolved ack-eliciting packet (lazy tail cleanup)."""
+        ae = self._ae_unresolved
+        while ae:
+            pn = next(reversed(ae))
+            packet = ae[pn]
+            if packet.acked or packet.lost:
+                del ae[pn]
+                continue
+            return packet
+        return None
+
     def has_ack_eliciting_in_flight(self) -> bool:
-        return any(
-            p.ack_eliciting and not p.resolved for p in self.sent_packets.values()
-        )
+        return self._newest_ack_eliciting() is not None
 
     def pto_deadline(self) -> Optional[float]:
         """Absolute PTO expiry, or ``None`` if nothing needs probing."""
-        candidates = [
-            p.sent_time for p in self.sent_packets.values() if p.ack_eliciting and not p.resolved
-        ]
-        if not candidates:
+        packet = self._newest_ack_eliciting()
+        if packet is None:
             return None
         pto = self.rtt.pto(self.max_ack_delay) * (2 ** self.pto_count)
-        return max(candidates) + pto
+        # sent_time never decreases with pn, so the newest unresolved
+        # ack-eliciting packet carries the latest send time.
+        return packet.sent_time + pto
 
     def on_pto_fired(self, now: float) -> List[SentPacket]:
         """Back off and return the unresolved packets to probe with.
@@ -158,13 +198,26 @@ class LossRecovery:
         retransmits data from the oldest unacked packet(s).
         """
         self.pto_count += 1
-        unresolved = [p for p in self.sent_packets.values() if p.ack_eliciting and not p.resolved]
-        unresolved.sort(key=lambda p: p.packet_number)
-        return unresolved[:2]
+        probes: List[SentPacket] = []
+        for packet in self._ae_unresolved.values():
+            if packet.acked or packet.lost:
+                continue
+            probes.append(packet)
+            if len(probes) == 2:
+                break
+        return probes
 
     def oldest_unacked(self) -> Optional[SentPacket]:
-        pending = [p for p in self.sent_packets.values() if not p.resolved]
-        return min(pending, key=lambda p: p.packet_number, default=None)
+        unresolved = self._unresolved
+        while unresolved:
+            pn = next(iter(unresolved))
+            packet = unresolved[pn]
+            if packet.acked or packet.lost:
+                del unresolved[pn]
+                self._ae_unresolved.pop(pn, None)
+                continue
+            return packet
+        return None
 
     def _garbage_collect(self, keep_window: int = 4096) -> None:
         """Drop long-resolved packets to bound memory in long sessions."""

@@ -87,6 +87,7 @@ class Path:
         loop: EventLoop,
         conditions: NetworkConditions,
         rng: Optional[random.Random] = None,
+        fast: bool = False,
     ) -> None:
         # Seeded default keeps zero-argument Paths reproducible; replayed
         # sessions always pass a per-session rng derived from their seed.
@@ -101,6 +102,7 @@ class Path:
             buffer_bytes=conditions.buffer_bytes,
             loss_rate=conditions.loss_rate,
             rng=random.Random(rng.getrandbits(64)),
+            fast=fast,
         )
         self.reverse = Link(
             loop,
@@ -109,6 +111,7 @@ class Path:
             buffer_bytes=conditions.buffer_bytes,
             loss_rate=conditions.reverse_loss_rate,
             rng=random.Random(rng.getrandbits(64)),
+            fast=fast,
         )
 
     @property

@@ -170,6 +170,30 @@ class Deployment:
         """Session chains, one inner list per OD pair, time-ordered."""
         return list(self.iter_chains())
 
+    def iter_chains_range(self, start: int, stop: int) -> Iterator[List[PlannedSession]]:
+        """Chains for OD indices ``[start, stop)``, regenerated from seed.
+
+        The OD-pair stream is one sequential rng draw per index, so a
+        range worker advances the cheap OD sampling for ``0..start-1``
+        and builds chains only inside its range.  This is what lets the
+        replay engine ship ``(config, start, stop)`` tuples to pool
+        workers instead of pickled chains: identical to slicing
+        :meth:`generate`, at a fraction of the cost.
+        """
+        if not 0 <= start <= stop <= self.config.n_od_pairs:
+            raise ValueError(
+                f"invalid OD range [{start}, {stop}) for {self.config.n_od_pairs} OD pairs"
+            )
+        network = NetworkModel(random.Random(f"network:{self.config.seed}"))
+        for od_index in range(stop):
+            od = network.sample_od_pair()
+            if od_index >= start:
+                yield self._sampler.chain_for_od(od, od_index)
+
+    def generate_range(self, start: int, stop: int) -> List[List[PlannedSession]]:
+        """List form of :meth:`iter_chains_range`."""
+        return list(self.iter_chains_range(start, stop))
+
     def sessions(self) -> List[PlannedSession]:
         """All sessions flattened (chains stay internally ordered)."""
         return [spec for chain in self.iter_chains() for spec in chain]

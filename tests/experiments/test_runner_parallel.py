@@ -123,6 +123,97 @@ class TestParallelEqualsSerial:
         assert_records_identical(records, reference)
 
 
+class TestChunkSharding:
+    def test_chunk_bounds_cover_range_exactly(self):
+        for n in (1, 2, 3, 7, 30, 31, 120, 150):
+            for jobs in (1, 2, 4, 8):
+                bounds = runner._chunk_bounds(n, jobs)
+                assert bounds[0][0] == 0
+                assert bounds[-1][1] == n
+                for (lo, hi), (nlo, _nhi) in zip(bounds, bounds[1:]):
+                    assert hi == nlo
+                assert all(lo < hi for lo, hi in bounds)
+
+    def test_chunk_bounds_respect_ceiling(self):
+        assert all(
+            hi - lo <= runner.MAX_CHUNK_CHAINS
+            for lo, hi in runner._chunk_bounds(600, 2)
+        )
+
+    def test_worker_chains_match_full_generation(self):
+        from repro.workload.population import Deployment
+
+        config = tiny_config(23)
+        full = Deployment(config).generate()
+        regenerated = []
+        for lo, hi in runner._chunk_bounds(config.n_od_pairs, 2):
+            regenerated.extend(runner._worker_chains(config, lo, hi))
+        assert regenerated == full
+
+    def test_worker_chain_cache_reused_across_schemes(self):
+        config = tiny_config(27)
+        first = runner._worker_chains(config, 0, 2)
+        assert runner._worker_chains(config, 0, 2) is first
+
+    def test_worker_chain_cache_evicted_on_config_change(self):
+        runner._worker_chains(tiny_config(29), 0, 2)
+        runner._worker_chains(tiny_config(31), 0, 2)
+        assert all(
+            "seed=29" not in key[0] for key in runner._WORKER_CHAIN_CACHE
+        )
+
+
+class TestPersistentPool:
+    def test_pool_object_reused_across_replays(self, no_ambient_tracing):
+        pool = runner._get_pool(2)
+        runner.run_deployment(tiny_config(3), SCHEMES, use_cache=False, jobs=2)
+        assert runner._POOL is pool
+        runner.run_deployment(tiny_config(21), SCHEMES, use_cache=False, jobs=2)
+        assert runner._POOL is pool
+
+    def test_pool_recycled_when_jobs_change(self):
+        pool = runner._get_pool(2)
+        assert runner._get_pool(2) is pool
+        other = runner._get_pool(3)
+        assert other is not pool
+        assert runner._POOL_JOBS == 3
+
+    def test_shutdown_pool_clears_state(self):
+        runner._get_pool(2)
+        runner.shutdown_pool()
+        assert runner._POOL is None
+        assert runner._POOL_JOBS == 0
+
+
+class TestBatchKnob:
+    def test_serial_batched_matches_reference(self, no_ambient_tracing, monkeypatch):
+        config = tiny_config(3)
+        monkeypatch.setenv("WIRA_BATCH", "0")
+        reference = runner.run_deployment(config, SCHEMES, use_cache=False, jobs=1)
+        monkeypatch.setenv("WIRA_BATCH", "1")
+        batched = runner.run_deployment(config, SCHEMES, use_cache=False, jobs=1)
+        assert_records_identical(reference, batched)
+
+    def test_fast_link_matches_reference(self, no_ambient_tracing, monkeypatch):
+        config = tiny_config(3)
+        monkeypatch.setenv("WIRA_FAST_LINK", "0")
+        monkeypatch.setenv("WIRA_BATCH", "0")
+        reference = runner.run_deployment(config, SCHEMES, use_cache=False, jobs=1)
+        monkeypatch.setenv("WIRA_FAST_LINK", "1")
+        fast = runner.run_deployment(config, SCHEMES, use_cache=False, jobs=1)
+        assert_records_identical(reference, fast)
+
+    def test_all_knobs_on_match_all_knobs_off(self, no_ambient_tracing, monkeypatch):
+        config = tiny_config(4)
+        monkeypatch.setenv("WIRA_FAST_LINK", "0")
+        monkeypatch.setenv("WIRA_BATCH", "0")
+        reference = runner.run_deployment(config, SCHEMES, use_cache=False, jobs=1)
+        monkeypatch.setenv("WIRA_FAST_LINK", "1")
+        monkeypatch.setenv("WIRA_BATCH", "1")
+        combined = runner.run_deployment(config, SCHEMES, use_cache=False, jobs=1)
+        assert_records_identical(reference, combined)
+
+
 class TestJobsResolution:
     def test_explicit_argument_wins(self):
         assert runner.resolve_jobs(3) == 3

@@ -93,6 +93,17 @@ class TestDeterminism:
         run_chunk(config, 0)  # other work must not perturb chunk 1
         assert canonical_json(run_chunk(config, 1)) == canonical_json(first)
 
+    def test_batched_chunk_matches_serial_reference(self, monkeypatch):
+        """WIRA_BATCH on/off must yield byte-identical chunk aggregates."""
+        config = small_config(chunk_chains=3)
+        monkeypatch.setenv("WIRA_BATCH", "0")
+        reference = [run_chunk(config, i) for i in range(config.n_chunks)]
+        monkeypatch.setenv("WIRA_BATCH", "1")
+        batched = [run_chunk(config, i) for i in range(config.n_chunks)]
+        assert [canonical_json(p) for p in reference] == [
+            canonical_json(p) for p in batched
+        ]
+
     def test_report_reflects_real_sessions(self):
         config = small_config()
         total = run_campaign(config, jobs=1)

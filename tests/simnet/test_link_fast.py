@@ -1,0 +1,234 @@
+"""Byte-identity tests for the batched-admission ("fast") link path.
+
+The fast path must be observationally indistinguishable from per-packet
+``send()`` calls: identical admission results, identical delivery
+timestamps, identical rng consumption, identical stats — and identical
+event *posting instants*, because the ``(when, seq)`` tiebreak of events
+that collide on the same float timestamp is part of the simulator's
+determinism contract.  These tests drive both implementations through
+randomized workloads and diff every observable, plus one constructed
+exact-collision scenario that any up-front delivery scheduling gets
+wrong.
+"""
+
+import random
+
+import pytest
+
+from repro.simnet.batch import BatchEventLoop
+from repro.simnet.engine import EventLoop
+from repro.simnet.link import Datagram, Link
+
+
+def _random_trains(rng, n_trains=60):
+    trains = []
+    t = 0.0
+    for _ in range(n_trains):
+        t += rng.choice([0.0, 0.0001, 0.002, 0.05])
+        trains.append((t, [rng.randint(40, 1500) for _ in range(rng.randint(1, 24))]))
+    return trains
+
+
+def _stats_tuple(link):
+    s = link.stats
+    return (
+        s.admitted,
+        s.dropped,
+        s.delivered,
+        s.bytes_delivered,
+        s.random_losses,
+        s.buffer_losses,
+        s.outage_losses,
+        s.max_queue_bytes,
+    )
+
+
+def _run_trains(link, loop, trains, burst):
+    """Replay ``trains`` = [(at, [sizes])]; return every observable."""
+    delivered = []
+    link.on_deliver = lambda d: delivered.append((loop.now, d.payload))
+    results = []
+    for at, sizes in trains:
+        datagrams = [Datagram(b"x" * s) for s in sizes]
+        if burst:
+            loop.post_at(at, lambda ds=datagrams: results.extend(link.send_burst(ds)))
+        else:
+            loop.post_at(
+                at, lambda ds=datagrams: results.extend(link.send(d) for d in ds)
+            )
+    loop.run()
+    return results, delivered, _stats_tuple(link)
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23, 91])
+@pytest.mark.parametrize("loss_rate", [0.0, 0.15])
+def test_fast_burst_matches_per_packet_sends_exactly(seed, loss_rate):
+    workload = _random_trains(random.Random(seed))
+    observed = {}
+    for fast in (False, True):
+        loop = EventLoop()
+        link = Link(
+            loop,
+            bandwidth_bps=6_000_000.0,
+            propagation_delay=0.02,
+            buffer_bytes=20_000,
+            loss_rate=loss_rate,
+            rng=random.Random(seed),
+            fast=fast,
+        )
+        observed[fast] = _run_trains(link, loop, workload, burst=fast)
+    assert observed[False] == observed[True]
+
+
+def test_fast_burst_matches_under_heavy_buffer_pressure():
+    workload = [(0.0, [1200] * 64)]  # one giant train at t=0, tiny buffer
+    observed = {}
+    for fast in (False, True):
+        loop = EventLoop()
+        link = Link(
+            loop,
+            bandwidth_bps=1_000_000.0,
+            propagation_delay=0.005,
+            buffer_bytes=6_000,
+            rng=random.Random(3),
+            fast=fast,
+        )
+        observed[fast] = _run_trains(link, loop, workload, burst=fast)
+    assert observed[False] == observed[True]
+    assert observed[True][2][5] > 0  # buffer losses actually exercised
+
+
+def test_send_burst_matches_sequential_sends():
+    rng = random.Random(11)
+    trains = []
+    t = 0.0
+    for _ in range(30):
+        trains.append((t, [rng.randint(40, 1500) for _ in range(rng.randint(1, 40))]))
+        t += 0.004
+    observed = {}
+    for burst in (False, True):
+        loop = EventLoop()
+        link = Link(
+            loop,
+            bandwidth_bps=4_000_000.0,
+            propagation_delay=0.01,
+            buffer_bytes=30_000,
+            loss_rate=0.1,
+            rng=random.Random(5),
+            fast=True,
+        )
+        observed[burst] = _run_trains(link, loop, trains, burst=burst)
+    assert observed[False] == observed[True]
+
+
+def test_admission_collides_with_serialisation_finish():
+    """A send at *exactly* a serialisation-finish instant, from an event
+    with a smaller ``seq``, must see the buffer still occupied.
+
+    This is the scenario that rules out scheduling deliveries up front:
+    the finish event's queue pop happens at ``(T, seq_finish)``, and a
+    competing admission at ``(T, seq_smaller)`` runs before it.  Lazy
+    accounting keyed on the timestamp alone frees the buffer too early
+    and flips the drop-tail decision.
+    """
+    observed = {}
+    for fast in (False, True):
+        loop = EventLoop()
+        link = Link(
+            loop,
+            bandwidth_bps=80_000.0,  # 1000 B -> exactly 0.1 s on the wire
+            propagation_delay=0.005,
+            buffer_bytes=2_000,
+            rng=random.Random(9),
+            fast=fast,
+        )
+        delivered = []
+        link.on_deliver = lambda d: delivered.append(loop.now)
+        late_result = []
+
+        def setup():
+            # Posted *before* the head packet's finish event, so at
+            # t=0.1 this runs first (smaller seq).  The buffer still
+            # holds both queued packets at that point: reject.
+            loop.post_at(0.1, lambda: late_result.append(link.send(Datagram(b"d" * 1000))))
+            assert link.send_burst([Datagram(b"a" * 1000)] * 3) == [True, True, True]
+
+        loop.post_at(0.0, setup)
+        loop.run()
+        observed[fast] = (late_result, delivered, _stats_tuple(link))
+    assert observed[False] == observed[True]
+    assert observed[True][0] == [False]  # the colliding send was dropped
+    assert observed[True][2][5] == 1  # ...as a buffer loss
+
+
+def test_burst_on_member_loop_matches_solo_loop():
+    """A send_burst driven on a MemberLoop must equal solo-loop runs."""
+    sizes = [rng_size for rng_size in (300, 900, 1500, 40, 700) * 6]
+    observed = {}
+    for mode in ("solo", "batch"):
+        if mode == "solo":
+            loop = EventLoop()
+            target = loop
+        else:
+            kernel = BatchEventLoop()
+            target = kernel.member()
+        link = Link(
+            target,
+            bandwidth_bps=2_500_000.0,
+            propagation_delay=0.008,
+            buffer_bytes=10**6,
+            rng=random.Random(4),
+            fast=True,
+        )
+        delivered = []
+        link.on_deliver = lambda d: delivered.append((target.now, d.size))
+        link.send_burst([Datagram(b"w" * s) for s in sizes])
+        if mode == "solo":
+            loop.run()
+        else:
+            kernel.run()
+        observed[mode] = delivered
+    assert observed["solo"] == observed["batch"]
+
+
+def test_impaired_fast_link_degrades_to_legacy():
+    """Reorder/duplicate force the per-packet path even when fast=True."""
+    observed = {}
+    for fast in (False, True):
+        loop = EventLoop()
+        link = Link(
+            loop,
+            bandwidth_bps=8_000_000.0,
+            propagation_delay=0.001,
+            rng=random.Random(6),
+            fast=fast,
+        )
+        link.duplicate_rate = 1.0
+        delivered = []
+        link.on_deliver = lambda d: delivered.append(loop.now)
+        assert link.send_burst([Datagram(b"q" * 100)]) == [True]
+        loop.run()
+        observed[fast] = (delivered, link.stats.duplicated)
+    assert observed[False] == observed[True]
+    assert observed[True][1] == 1  # the duplicate actually happened
+
+
+def test_fast_queue_bytes_tracks_legacy():
+    loop = EventLoop()
+    link = Link(
+        loop,
+        bandwidth_bps=80_000.0,
+        propagation_delay=0.0,
+        buffer_bytes=10_000,
+        rng=random.Random(8),
+        fast=True,
+    )
+    link.send_burst([Datagram(b"x" * 1_000)] * 5)  # 0.1s serialisation each
+    # First packet is on the wire, four are buffered — same as legacy.
+    assert link.queue_bytes == 4_000
+    assert link.stats.max_queue_bytes == 4_000
+    loop.run_until(0.35)
+    # Three serialisation finishes have passed, the fourth is on the wire.
+    assert link.queue_bytes == 1_000
+    loop.run()
+    assert link.queue_bytes == 0

@@ -1,0 +1,207 @@
+"""Tests for the wira-perf trajectory recorder and regression ratchet."""
+
+import json
+
+import pytest
+
+from tools.wira_perf.cli import (
+    EXIT_ERROR,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    extract_metrics,
+    latest_comparable,
+    machine_fingerprint,
+    main,
+)
+
+BENCH = {
+    "schema_version": 2,
+    "event_loop": {"events": 200_000, "events_per_second": 800_000},
+    "batched_kernel": {
+        "sessions": 32,
+        "burst_size": 256,
+        "events": 1_499_136,
+        "events_per_second": 3_600_000,
+    },
+    "deployment_replay": {
+        "od_pairs": 120,
+        "sessions_per_second": 42.5,
+        "speedup": 2.1,
+    },
+}
+
+
+def write_bench(path, payload=BENCH):
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def scaled(factor, sections=("event_loop", "batched_kernel", "deployment_replay")):
+    """BENCH with every ratchet metric multiplied by ``factor``."""
+    payload = json.loads(json.dumps(BENCH))
+    payload["event_loop"]["events_per_second"] *= factor
+    payload["batched_kernel"]["events_per_second"] *= factor
+    payload["deployment_replay"]["sessions_per_second"] *= factor
+    return payload
+
+
+class TestExtraction:
+    def test_extracts_all_three_ratchet_metrics(self):
+        metrics = extract_metrics(BENCH)
+        assert metrics == {
+            "event_loop_events_per_second": 800_000,
+            "batched_kernel_events_per_second": 3_600_000,
+            "replay_sessions_per_second": 42.5,
+        }
+
+    def test_missing_sections_are_skipped_not_invented(self):
+        metrics = extract_metrics({"event_loop": {"events_per_second": 5}})
+        assert metrics == {"event_loop_events_per_second": 5.0}
+
+    def test_fingerprint_is_stable_within_a_process(self):
+        assert machine_fingerprint() == machine_fingerprint()
+
+    def test_latest_comparable_ignores_other_machines(self):
+        me = machine_fingerprint()
+        other = dict(me, cpu_count=(me["cpu_count"] or 0) + 64)
+        snapshots = [
+            {"label": "old", "machine": me, "metrics": {}},
+            {"label": "foreign", "machine": other, "metrics": {}},
+        ]
+        assert latest_comparable(snapshots, me)["label"] == "old"
+        assert latest_comparable([snapshots[1]], me) is None
+
+
+class TestRecord:
+    def test_record_appends(self, tmp_path):
+        bench = write_bench(tmp_path / "bench.json")
+        trajectory = tmp_path / "traj.json"
+        for label in ("pr1", "pr2"):
+            code = main(
+                ["record", "--bench", bench, "--trajectory", str(trajectory), "--label", label]
+            )
+            assert code == EXIT_OK
+        snapshots = json.loads(trajectory.read_text())
+        assert [s["label"] for s in snapshots] == ["pr1", "pr2"]
+        assert snapshots[0]["machine"] == machine_fingerprint()
+        assert snapshots[1]["metrics"]["batched_kernel_events_per_second"] == 3_600_000
+
+    def test_record_without_metrics_errors(self, tmp_path):
+        bench = write_bench(tmp_path / "bench.json", {"unrelated": {}})
+        code = main(
+            ["record", "--bench", bench, "--trajectory", str(tmp_path / "t.json"), "--label", "x"]
+        )
+        assert code == EXIT_ERROR
+
+    def test_missing_bench_file_errors(self, tmp_path):
+        code = main(
+            [
+                "record",
+                "--bench",
+                str(tmp_path / "nope.json"),
+                "--trajectory",
+                str(tmp_path / "t.json"),
+                "--label",
+                "x",
+            ]
+        )
+        assert code == EXIT_ERROR
+
+
+class TestCheck:
+    def _recorded(self, tmp_path):
+        bench = write_bench(tmp_path / "bench.json")
+        trajectory = tmp_path / "traj.json"
+        main(["record", "--bench", bench, "--trajectory", str(trajectory), "--label", "base"])
+        return trajectory
+
+    def test_identical_numbers_pass(self, tmp_path):
+        trajectory = self._recorded(tmp_path)
+        bench = write_bench(tmp_path / "now.json")
+        assert main(["check", "--bench", bench, "--trajectory", str(trajectory)]) == EXIT_OK
+
+    def test_small_drop_within_tolerance_passes(self, tmp_path):
+        trajectory = self._recorded(tmp_path)
+        bench = write_bench(tmp_path / "now.json", scaled(0.95))
+        assert main(["check", "--bench", bench, "--trajectory", str(trajectory)]) == EXIT_OK
+
+    def test_regression_beyond_tolerance_fails(self, tmp_path):
+        trajectory = self._recorded(tmp_path)
+        bench = write_bench(tmp_path / "now.json", scaled(0.85))
+        assert (
+            main(["check", "--bench", bench, "--trajectory", str(trajectory)])
+            == EXIT_REGRESSION
+        )
+
+    def test_single_metric_regression_is_enough(self, tmp_path):
+        trajectory = self._recorded(tmp_path)
+        payload = json.loads(json.dumps(BENCH))
+        payload["deployment_replay"]["sessions_per_second"] *= 0.5
+        bench = write_bench(tmp_path / "now.json", payload)
+        assert (
+            main(["check", "--bench", bench, "--trajectory", str(trajectory)])
+            == EXIT_REGRESSION
+        )
+
+    def test_improvement_passes(self, tmp_path):
+        trajectory = self._recorded(tmp_path)
+        bench = write_bench(tmp_path / "now.json", scaled(1.5))
+        assert main(["check", "--bench", bench, "--trajectory", str(trajectory)]) == EXIT_OK
+
+    def test_custom_tolerance(self, tmp_path):
+        trajectory = self._recorded(tmp_path)
+        bench = write_bench(tmp_path / "now.json", scaled(0.85))
+        assert (
+            main(
+                [
+                    "check",
+                    "--bench",
+                    bench,
+                    "--trajectory",
+                    str(trajectory),
+                    "--tolerance",
+                    "0.2",
+                ]
+            )
+            == EXIT_OK
+        )
+
+    def test_no_baseline_passes_unless_strict(self, tmp_path):
+        bench = write_bench(tmp_path / "now.json")
+        empty = tmp_path / "traj.json"
+        assert main(["check", "--bench", bench, "--trajectory", str(empty)]) == EXIT_OK
+        assert (
+            main(["check", "--bench", bench, "--trajectory", str(empty), "--strict"])
+            == EXIT_ERROR
+        )
+
+    def test_foreign_machine_snapshots_are_not_compared(self, tmp_path):
+        trajectory = tmp_path / "traj.json"
+        foreign = dict(machine_fingerprint(), cpu_count=4096)
+        trajectory.write_text(
+            json.dumps(
+                [
+                    {
+                        "label": "foreign",
+                        "machine": foreign,
+                        "metrics": {"event_loop_events_per_second": 10**12},
+                    }
+                ]
+            )
+        )
+        bench = write_bench(tmp_path / "now.json")
+        assert main(["check", "--bench", bench, "--trajectory", str(trajectory)]) == EXIT_OK
+
+
+class TestRepoArtifact:
+    def test_repo_trajectory_is_well_formed(self):
+        """The committed BENCH_TRAJECTORY.json must parse and carry the
+        ratchet metrics — the CI perf gate consumes it as-is."""
+        from tools.wira_perf.cli import DEFAULT_TRAJECTORY, load_trajectory
+
+        snapshots = load_trajectory(DEFAULT_TRAJECTORY)
+        assert snapshots, "BENCH_TRAJECTORY.json must hold at least one snapshot"
+        for snapshot in snapshots:
+            assert snapshot["label"]
+            assert "machine" in snapshot
+            assert "batched_kernel_events_per_second" in snapshot["metrics"]

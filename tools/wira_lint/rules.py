@@ -32,6 +32,7 @@ TYPED_ZONE: Tuple[str, ...] = (
     "src/repro/faults",
     "src/repro/fleet",
     "src/repro/runtime",
+    "src/repro/cdn/batchrun",
 )
 
 #: Whole-package zone for the style/structure rules.
@@ -173,6 +174,12 @@ SLOTS_REGISTRY = frozenset(
         "Link",
         "Pacer",
         "SentPacket",
+        # Batched-kernel scheduler core: one CalendarQueue entry and one
+        # MemberLoop clock touch per simulated event across every member
+        # session sharing the kernel.
+        "BatchEventLoop",
+        "CalendarQueue",
+        "MemberLoop",
         # Fleet-scale streaming accumulators: allocated per campaign but
         # fold()/add() run once per session across 10^5–10^6 sessions.
         "CampaignAggregate",

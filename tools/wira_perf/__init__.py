@@ -1,0 +1,7 @@
+"""wira-perf: performance trajectory recording and regression ratchet.
+
+Reads the ``BENCH_speed.json`` artifact the speed benchmarks write,
+appends per-PR snapshots to the append-only ``BENCH_TRAJECTORY.json``,
+and fails CI when a headline throughput metric regresses beyond
+tolerance against the last snapshot from a comparable machine.
+"""

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m tools.wira_perf``."""
+
+import sys
+
+from tools.wira_perf.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,216 @@
+"""Command line front end: ``python -m tools.wira_perf <cmd> ...``.
+
+Two commands:
+
+``record``
+    Extract the ratchet metrics from ``BENCH_speed.json`` and append a
+    snapshot — ``{label, machine, metrics}`` — to the append-only
+    trajectory file ``BENCH_TRAJECTORY.json``.  One snapshot per PR is
+    the intended cadence.
+
+``check``
+    Compare the current ``BENCH_speed.json`` against the most recent
+    trajectory snapshot recorded on a *comparable machine* (same
+    fingerprint: CPU count, architecture, Python version).  Exits 1
+    when any ratchet metric — events/s on the solo loop, aggregate
+    events/s on the batched kernel, sessions/s on the replay — drops
+    more than ``--tolerance`` (default 10%).  Snapshots from different
+    machines are never compared: a laptop-vs-CI delta is hardware, not
+    a regression.  A missing baseline passes with a note (use
+    ``--strict`` to make it an error, e.g. on a self-hosted runner that
+    is supposed to have history).
+
+Exit codes: 0 success, 1 regression found (``check``), 2 usage/IO
+errors.  Stdlib-only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_ERROR = 2
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+DEFAULT_BENCH = _REPO_ROOT / "BENCH_speed.json"
+DEFAULT_TRAJECTORY = _REPO_ROOT / "BENCH_TRAJECTORY.json"
+
+#: The ratchet metrics: (name, path into BENCH_speed.json).  All are
+#: "higher is better" throughputs, which is what makes a one-sided
+#: tolerance check meaningful.
+RATCHET_METRICS = (
+    ("event_loop_events_per_second", ("event_loop", "events_per_second")),
+    ("batched_kernel_events_per_second", ("batched_kernel", "events_per_second")),
+    ("replay_sessions_per_second", ("deployment_replay", "sessions_per_second")),
+)
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """Identify the benchmarking host well enough to avoid cross-machine
+    comparisons; deliberately coarse (no hostnames, no serial numbers)."""
+    return {
+        "arch": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "system": platform.system(),
+    }
+
+
+def extract_metrics(bench: Dict[str, object]) -> Dict[str, float]:
+    """Pull the ratchet metrics out of a ``BENCH_speed.json`` payload.
+
+    Metrics whose section is absent are skipped (older schema, partial
+    bench runs) rather than invented.
+    """
+    metrics: Dict[str, float] = {}
+    for name, (section, key) in RATCHET_METRICS:
+        payload = bench.get(section)
+        if isinstance(payload, dict) and key in payload:
+            metrics[name] = float(payload[key])  # type: ignore[arg-type]
+    return metrics
+
+
+def load_json(path: Path) -> Dict[str, object]:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise FileNotFoundError(f"no such file: {path}") from None
+    except ValueError as exc:
+        raise ValueError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    return data
+
+
+def load_trajectory(path: Path) -> List[Dict[str, object]]:
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON array of snapshots")
+    return data
+
+
+def latest_comparable(
+    snapshots: List[Dict[str, object]], fingerprint: Dict[str, object]
+) -> Optional[Dict[str, object]]:
+    """Most recent snapshot recorded on a machine like this one."""
+    for snapshot in reversed(snapshots):
+        if snapshot.get("machine") == fingerprint:
+            return snapshot
+    return None
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    bench = load_json(Path(args.bench))
+    metrics = extract_metrics(bench)
+    if not metrics:
+        print(f"error: {args.bench} holds none of the ratchet metrics", file=sys.stderr)
+        return EXIT_ERROR
+    trajectory_path = Path(args.trajectory)
+    snapshots = load_trajectory(trajectory_path)
+    snapshots.append(
+        {
+            "label": args.label,
+            "machine": machine_fingerprint(),
+            "metrics": metrics,
+        }
+    )
+    trajectory_path.write_text(json.dumps(snapshots, indent=2, sort_keys=True) + "\n")
+    print(f"recorded snapshot '{args.label}' ({len(snapshots)} total)")
+    return EXIT_OK
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    bench = load_json(Path(args.bench))
+    current = extract_metrics(bench)
+    if not current:
+        print(f"error: {args.bench} holds none of the ratchet metrics", file=sys.stderr)
+        return EXIT_ERROR
+    snapshots = load_trajectory(Path(args.trajectory))
+    baseline = latest_comparable(snapshots, machine_fingerprint())
+    if baseline is None:
+        message = "no trajectory snapshot from a comparable machine; nothing to ratchet against"
+        if args.strict:
+            print(f"error: {message}", file=sys.stderr)
+            return EXIT_ERROR
+        print(message)
+        return EXIT_OK
+    base_metrics = baseline.get("metrics", {})
+    if not isinstance(base_metrics, dict):
+        print(f"error: malformed snapshot {baseline.get('label')!r}", file=sys.stderr)
+        return EXIT_ERROR
+    failures = []
+    for name, value in sorted(current.items()):
+        base = base_metrics.get(name)
+        if base is None or float(base) <= 0:
+            continue
+        ratio = value / float(base)
+        verdict = "ok" if ratio >= 1.0 - args.tolerance else "REGRESSION"
+        print(
+            f"{name}: {value:,.0f} vs baseline {float(base):,.0f} "
+            f"({ratio - 1.0:+.1%}) [{verdict}]"
+        )
+        if verdict == "REGRESSION":
+            failures.append(name)
+    if failures:
+        print(
+            f"perf gate failed: {', '.join(failures)} regressed more than "
+            f"{args.tolerance:.0%} vs snapshot '{baseline.get('label')}'",
+            file=sys.stderr,
+        )
+        return EXIT_REGRESSION
+    print(f"perf gate passed vs snapshot '{baseline.get('label')}'")
+    return EXIT_OK
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="wira-perf", description="performance trajectory recorder and ratchet"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="append a snapshot to the trajectory")
+    record.add_argument("--bench", default=str(DEFAULT_BENCH), help="BENCH_speed.json path")
+    record.add_argument(
+        "--trajectory", default=str(DEFAULT_TRAJECTORY), help="BENCH_TRAJECTORY.json path"
+    )
+    record.add_argument("--label", required=True, help="snapshot label (e.g. pr7)")
+    record.set_defaults(func=cmd_record)
+
+    check = sub.add_parser("check", help="fail on regression vs the trajectory")
+    check.add_argument("--bench", default=str(DEFAULT_BENCH), help="BENCH_speed.json path")
+    check.add_argument(
+        "--trajectory", default=str(DEFAULT_TRAJECTORY), help="BENCH_TRAJECTORY.json path"
+    )
+    check.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional drop per metric (default 0.10)",
+    )
+    check.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat a missing comparable baseline as an error",
+    )
+    check.set_defaults(func=cmd_check)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
