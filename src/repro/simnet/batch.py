@@ -357,7 +357,7 @@ class BatchEventLoop:
                 # Equal-instant items: the burst's reserved seqs decide.
                 while (
                     end < count
-                    and times[end] == next_when  # wira-lint: disable=WL003 - exact key order
+                    and times[end] == next_when
                     and seq0 + end < nxt[1]
                 ):
                     end += 1

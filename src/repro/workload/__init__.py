@@ -12,7 +12,10 @@
 """
 
 from repro.workload.network import NetworkModel, OdPairModel, UserGroup
-from repro.workload.population import (
+
+# The re-export below IS the deprecation shim WL016 polices; it stays
+# until the alias is dropped outright.
+from repro.workload.population import (  # wira-lint: disable=WL016
     Deployment,
     DeploymentConfig,
     FleetPopulation,

@@ -54,7 +54,7 @@ class TestLegacyShimEquivalence:
         via_spec = StreamingSession.from_spec(spec, make_origin(), "demo").run()
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
-            via_legacy = StreamingSession(
+            via_legacy = StreamingSession(  # wira-lint: disable=WL016 - shim equivalence test
                 conditions=TESTBED,
                 scheme=scheme,
                 origin=make_origin(),
@@ -78,7 +78,7 @@ class TestLegacyShimEquivalence:
                 if use_legacy:
                     with warnings.catch_warnings():
                         warnings.simplefilter("ignore", DeprecationWarning)
-                        session = StreamingSession(
+                        session = StreamingSession(  # wira-lint: disable=WL016 - shim equivalence test
                             conditions=spec.conditions,
                             scheme=spec.scheme,
                             origin=origin,
@@ -101,7 +101,7 @@ class TestLegacyShimEquivalence:
 
     def test_legacy_ctor_warns_deprecation(self):
         with pytest.warns(DeprecationWarning, match="SessionSpec"):
-            StreamingSession(
+            StreamingSession(  # wira-lint: disable=WL016 - deprecation warning test
                 conditions=TESTBED,
                 scheme=Scheme.BASELINE,
                 origin=make_origin(),

@@ -1,0 +1,245 @@
+"""Incremental-engine tests: facts cache, baseline semantics, reporters.
+
+Covers the acceptance bar for the engine itself: fingerprint-cache
+hit/miss/invalidated-on-edit, corrupted-cache recovery, baseline
+add/shrink (the baseline may only *shrink* in CI — stale entries fail
+the run), byte-identical warm output, and the SARIF reporter.
+"""
+
+import json
+import textwrap
+import time
+
+import pytest
+
+from tools.wira_lint.baseline import BaselineError, load_baseline
+from tools.wira_lint.cache import CACHE_FILENAME
+from tools.wira_lint.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_VIOLATIONS, main
+from tools.wira_lint.engine import lint_paths
+from tools.wira_lint.report import render_json, render_sarif, render_text
+
+CLOCK_SRC = """
+    import time
+
+
+    def stamp() -> float:
+        return time.time()
+"""
+
+CLEAN_SRC = """
+    def advance(loop: object) -> float:
+        return loop.now
+"""
+
+
+def write_tree(root, clock: bool = True):
+    sim = root / "src" / "repro" / "simnet"
+    sim.mkdir(parents=True, exist_ok=True)
+    (sim / "__init__.py").write_text("")
+    (sim / "clock.py").write_text(textwrap.dedent(CLOCK_SRC if clock else CLEAN_SRC))
+    (sim / "engine.py").write_text(textwrap.dedent(CLEAN_SRC))
+    for i in range(6):
+        (sim / f"mod{i}.py").write_text(textwrap.dedent(CLEAN_SRC))
+    return root / "src"
+
+
+class TestFactsCache:
+    def test_cold_then_warm_hit_counts(self, tmp_path):
+        src = write_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        cold = lint_paths([str(src)], cache_dir=str(cache_dir))
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == cold.files_scanned > 0
+        warm = lint_paths([str(src)], cache_dir=str(cache_dir))
+        assert warm.cache_misses == 0
+        assert warm.cache_hits == warm.files_scanned
+        assert warm.violations == cold.violations
+
+    def test_edit_invalidates_only_that_file(self, tmp_path):
+        src = write_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        lint_paths([str(src)], cache_dir=str(cache_dir))
+        (src / "repro" / "simnet" / "mod0.py").write_text(
+            textwrap.dedent(CLEAN_SRC) + "\nX = 1\n"
+        )
+        edited = lint_paths([str(src)], cache_dir=str(cache_dir))
+        assert edited.cache_misses == 1
+        assert edited.cache_hits == edited.files_scanned - 1
+
+    def test_corrupted_cache_recovers(self, tmp_path):
+        src = write_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        cold = lint_paths([str(src)], cache_dir=str(cache_dir))
+        (cache_dir / CACHE_FILENAME).write_text("{ this is not json")
+        recovered = lint_paths([str(src)], cache_dir=str(cache_dir))
+        assert recovered.cache_misses == recovered.files_scanned
+        assert recovered.violations == cold.violations
+        # The recovery run rewrote a valid cache.
+        warm = lint_paths([str(src)], cache_dir=str(cache_dir))
+        assert warm.cache_misses == 0
+
+    def test_wrong_version_cache_ignored(self, tmp_path):
+        src = write_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / CACHE_FILENAME).write_text(json.dumps({"version": 999, "entries": {}}))
+        run = lint_paths([str(src)], cache_dir=str(cache_dir))
+        assert run.cache_misses == run.files_scanned
+
+    def test_jobs_matches_serial_output(self, tmp_path):
+        src = write_tree(tmp_path)
+        serial = lint_paths([str(src)])
+        parallel = lint_paths([str(src)], jobs=2)
+        assert serial.violations == parallel.violations
+
+    def test_warm_run_faster_and_byte_identical(self, tmp_path):
+        # Acceptance: a warm run on an unchanged tree is at least 5x
+        # faster than cold and renders byte-identical reports.  Use the
+        # real repository source tree for a realistic extraction load.
+        cache_dir = tmp_path / "cache"
+        t0 = time.perf_counter()
+        cold = lint_paths(["src"], cache_dir=str(cache_dir))
+        t1 = time.perf_counter()
+        warm = lint_paths(["src"], cache_dir=str(cache_dir))
+        t2 = time.perf_counter()
+        assert warm.cache_misses == 0
+        assert (t1 - t0) / max(t2 - t1, 1e-9) >= 5.0
+        for renderer in (render_text, render_json, render_sarif):
+            assert renderer(cold.violations, cold.files_scanned) == renderer(
+                warm.violations, warm.files_scanned
+            )
+
+
+class TestBaseline:
+    def test_update_then_suppress(self, tmp_path):
+        src = write_tree(tmp_path, clock=True)
+        baseline = tmp_path / "baseline.json"
+        first = lint_paths([str(src)], baseline_path=str(baseline), update_baseline=True)
+        assert first.violations == []
+        assert first.suppressed_baseline > 0
+        # Next run: the grandfathered finding stays suppressed, nothing
+        # is stale.
+        second = lint_paths([str(src)], baseline_path=str(baseline))
+        assert second.violations == []
+        assert second.suppressed_baseline == first.suppressed_baseline
+        assert second.stale_baseline == []
+
+    def test_new_finding_not_masked_by_baseline(self, tmp_path):
+        src = write_tree(tmp_path, clock=True)
+        baseline = tmp_path / "baseline.json"
+        lint_paths([str(src)], baseline_path=str(baseline), update_baseline=True)
+        (src / "repro" / "simnet" / "fresh.py").write_text(
+            "import time\n\n\ndef other() -> float:\n    return time.monotonic()\n"
+        )
+        run = lint_paths([str(src)], baseline_path=str(baseline))
+        assert [v.code for v in run.violations] == ["WL001"]
+        assert "fresh.py" in run.violations[0].path
+
+    def test_fixed_finding_goes_stale(self, tmp_path):
+        # The shrink-only contract: once the debt is paid, the baseline
+        # entry must be removed or the run fails.
+        src = write_tree(tmp_path, clock=True)
+        baseline = tmp_path / "baseline.json"
+        lint_paths([str(src)], baseline_path=str(baseline), update_baseline=True)
+        write_tree(tmp_path, clock=False)
+        run = lint_paths([str(src)], baseline_path=str(baseline))
+        assert run.violations == []
+        assert len(run.stale_baseline) == 1
+        assert run.stale_baseline[0][1] == "WL001"
+
+    def test_duplicate_findings_counted_as_multiset(self, tmp_path):
+        src = write_tree(tmp_path, clock=True)
+        baseline = tmp_path / "baseline.json"
+        lint_paths([str(src)], baseline_path=str(baseline), update_baseline=True)
+        # A second, identical read in the same file is *new* debt even
+        # though (path, code, message) already appears in the baseline.
+        clock = src / "repro" / "simnet" / "clock.py"
+        clock.write_text(clock.read_text() + "\n\ndef stamp2() -> float:\n    return time.time()\n")
+        run = lint_paths([str(src)], baseline_path=str(baseline))
+        assert len(run.violations) == 1
+        assert run.violations[0].code == "WL001"
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        src = write_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("not json at all")
+        with pytest.raises(BaselineError):
+            lint_paths([str(src)], baseline_path=str(baseline))
+
+    def test_saved_baseline_round_trips(self, tmp_path):
+        src = write_tree(tmp_path, clock=True)
+        baseline = tmp_path / "baseline.json"
+        lint_paths([str(src)], baseline_path=str(baseline), update_baseline=True)
+        entries = load_baseline(baseline)
+        assert sum(entries.values()) == 1
+        ((path, code, _message),) = entries
+        assert code == "WL001"
+        assert path.endswith("clock.py")
+
+
+class TestSarifReport:
+    def test_sarif_structure(self, tmp_path):
+        src = write_tree(tmp_path, clock=True)
+        result = lint_paths([str(src)])
+        payload = json.loads(render_sarif(result.violations, result.files_scanned))
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "wira-lint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"WL000", "WL001", "WL010", "WL016"} <= rule_ids
+        result_ids = [r["ruleId"] for r in run["results"]]
+        assert "WL001" in result_ids
+        region = run["results"][0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+
+class TestCli:
+    def test_cli_cache_jobs_and_sarif_artifact(self, tmp_path, capsys):
+        src = write_tree(tmp_path, clock=True)
+        out = tmp_path / "lint.sarif"
+        argv = [
+            str(src),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--jobs",
+            "2",
+            "--format",
+            "sarif",
+            "--output",
+            str(out),
+            "--no-baseline",
+        ]
+        assert main(argv) == EXIT_VIOLATIONS
+        payload = json.loads(out.read_text())
+        assert payload["runs"][0]["results"]
+        # Warm run: identical artifact bytes.
+        first = out.read_text()
+        assert main(argv) == EXIT_VIOLATIONS
+        assert out.read_text() == first
+
+    def test_cli_update_baseline_then_clean_then_stale(self, tmp_path, capsys):
+        src = write_tree(tmp_path, clock=True)
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main([str(src), "--baseline", str(baseline), "--update-baseline"]) == EXIT_CLEAN
+        )
+        assert main([str(src), "--baseline", str(baseline)]) == EXIT_CLEAN
+        write_tree(tmp_path, clock=False)
+        assert main([str(src), "--baseline", str(baseline)]) == EXIT_VIOLATIONS
+        err = capsys.readouterr().err
+        assert "baseline" in err and "shrink" in err
+
+    def test_cli_malformed_baseline_is_usage_error(self, tmp_path, capsys):
+        src = write_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{broken")
+        assert main([str(src), "--baseline", str(baseline)]) == EXIT_ERROR
+
+    def test_cli_no_cache_flag(self, tmp_path):
+        src = write_tree(tmp_path, clock=False)
+        cache_dir = tmp_path / "cache"
+        assert (
+            main([str(src), "--cache-dir", str(cache_dir), "--no-cache", "--no-baseline"])
+            == EXIT_CLEAN
+        )
+        assert not (cache_dir / CACHE_FILENAME).exists()

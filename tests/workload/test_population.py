@@ -95,7 +95,7 @@ def test_iter_chains_restarts_cleanly():
 
 
 def test_session_spec_alias_is_planned_session():
-    from repro.workload.population import PlannedSession, SessionSpec
+    from repro.workload.population import PlannedSession, SessionSpec  # wira-lint: disable=WL016 - alias identity test
 
     assert SessionSpec is PlannedSession
 

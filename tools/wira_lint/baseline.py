@@ -1,0 +1,78 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets a new rule land with existing debt recorded instead of
+blocking the build, while guaranteeing the debt can only shrink:
+
+* a finding matching a baseline entry is suppressed (not reported, does
+  not fail the build);
+* a baseline entry matching nothing is **stale** — in CI that fails the
+  build, forcing the entry's removal (``--update-baseline`` rewrites the
+  file from the current findings);
+* a finding *not* in the baseline is new and fails the build normally.
+
+Entries match on ``(path, code, message)`` — deliberately line-agnostic
+so edits above a grandfathered finding do not churn the file — and are
+counted as a multiset, so adding a *second* identical finding in the
+same file is still new debt.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+BASELINE_VERSION = 1
+
+#: (path, code, message)
+BaselineKey = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """Raised for an unreadable or malformed baseline file."""
+
+
+def load_baseline(path: Path) -> Counter:
+    """Multiset of grandfathered finding keys."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except ValueError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(f"baseline {path} has an unsupported format")
+    entries = Counter()
+    for item in payload.get("findings", []):
+        entries[(item["path"], item["code"], item["message"])] += int(item.get("count", 1))
+    return entries
+
+
+def save_baseline(path: Path, violations: Sequence) -> None:
+    """Rewrite the baseline from the current (post-pragma) findings."""
+    counts = Counter((v.path, v.code, v.message) for v in violations)
+    findings = [
+        {"path": p, "code": c, "message": m, "count": n}
+        for (p, c, m), n in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": findings}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def apply_baseline(violations: Sequence, baseline: Counter):
+    """Split findings into (new, suppressed_count, stale_keys)."""
+    remaining = Counter(baseline)
+    kept: List = []
+    suppressed = 0
+    for violation in violations:
+        key = (violation.path, violation.code, violation.message)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(violation)
+    stale: List[BaselineKey] = sorted(
+        key for key, count in remaining.items() if count > 0 for _ in range(count)
+    )
+    return kept, suppressed, stale

@@ -1,0 +1,109 @@
+"""Content-fingerprint cache of per-file extracted facts.
+
+Same pattern as the repo's disk result cache: the key is a sha256 over
+everything that can change the extraction output — engine version, rule
+fingerprint, the file's path (zone filtering is path-dependent), and the
+file's exact bytes.  A warm run on an unchanged tree therefore skips
+``ast.parse`` entirely; an edit, a rule change, or an engine upgrade
+invalidates exactly the affected entries.
+
+The cache is one JSON file, written atomically and pruned to the current
+key set on every save.  A missing, corrupt, or version-skewed cache file
+degrades to a cold run — never to an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from tools.wira_lint.facts import FileFacts
+from tools.wira_lint.rules import RULES_FINGERPRINT
+
+#: Bump when the fact schema or extraction semantics change.
+CACHE_VERSION = 1
+ENGINE_FINGERPRINT = f"wira-lint-engine-v{CACHE_VERSION}"
+CACHE_FILENAME = "facts-cache.json"
+
+
+def fact_key(path: str, source: str) -> str:
+    """Cache key for one file's extracted facts."""
+    digest = hashlib.sha256()
+    for part in (ENGINE_FINGERPRINT, RULES_FINGERPRINT, path.replace("\\", "/"), source):
+        digest.update(part.encode("utf-8", "surrogatepass"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class FactCache:
+    """Load-once / save-once JSON cache of :class:`FileFacts` by key."""
+
+    def __init__(self, cache_dir: Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.path = self.cache_dir / CACHE_FILENAME
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, dict] = self._load()
+        self._touched: Dict[str, dict] = {}
+        self._dirty = False
+
+    def _load(self) -> Dict[str, dict]:
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(payload, dict) or payload.get("version") != CACHE_VERSION:
+            return {}
+        entries = payload.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def get(self, path: str, source: str) -> Optional[FileFacts]:
+        key = fact_key(path, source)
+        raw = self._entries.get(key)
+        if raw is None:
+            self.misses += 1
+            return None
+        try:
+            facts = FileFacts.from_json(raw)
+        except (KeyError, TypeError, ValueError):
+            # Corrupt entry: treat as a miss and let put() overwrite it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touched[key] = raw
+        return facts
+
+    def put(self, path: str, source: str, facts: FileFacts) -> None:
+        raw = facts.to_json()
+        key = fact_key(path, source)
+        self._entries[key] = raw
+        self._touched[key] = raw
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist only the entries used this run (prunes stale keys).
+
+        An all-hit run writes nothing: the file on disk already holds a
+        superset of the touched entries, and skipping the rewrite is
+        what makes the warm path cheap.
+        """
+        if not self._dirty:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = {"version": CACHE_VERSION, "entries": self._touched}
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=str(self.cache_dir), prefix=".facts-cache-", suffix=".tmp", delete=False
+        )
+        try:
+            with handle as stream:
+                stream.write(json.dumps(payload, sort_keys=True))
+            os.replace(handle.name, self.path)
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass

@@ -1,32 +1,45 @@
-"""AST walker, pragma handling, and the rule implementations."""
+"""Lint engine: fact extraction -> whole-program passes -> suppression.
+
+The pipeline for every entry point is the same:
+
+1. **extract** — one AST pass per file producing :class:`FileFacts`
+   (raw per-file findings + cross-module facts), served from the
+   content-fingerprint cache when available (:mod:`.cache`);
+2. **link** — :class:`~tools.wira_lint.graph.Program` joins all facts
+   and runs the whole-program passes (taint, registries, duck types);
+3. **suppress** — pragmas are applied per line / per file, pragma usage
+   is accounted (feeding WL009 unused-pragma findings), and optionally a
+   committed baseline filters grandfathered findings (:mod:`.baseline`).
+
+Public API (kept stable for the test-suite and external callers):
+``Violation``, ``lint_source``, ``lint_sources``, ``lint_file``,
+``lint_paths`` (returns a :class:`LintResult`, unpackable as the legacy
+``(violations, files_scanned)`` tuple), and ``iter_python_files``.
+"""
 
 from __future__ import annotations
 
-import ast
-import os
-import re
-from dataclasses import dataclass
+import concurrent.futures
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from tools.wira_lint.rules import (
-    GLOBAL_RANDOM_FUNCS,
-    MERGE_FUNC_RE,
-    RULES,
-    SLOTS_REGISTRY,
-    TIME_RATE_WORDS,
-    WALL_CLOCK_DATETIME_FUNCS,
-    WALL_CLOCK_TIME_FUNCS,
-)
+from tools.wira_lint.baseline import apply_baseline, load_baseline, save_baseline
+from tools.wira_lint.cache import FactCache
+from tools.wira_lint.facts import PARSE_ERROR_CODE, FileFacts, extract_facts
+from tools.wira_lint.graph import Program
+from tools.wira_lint.rules import RULES
 
-#: Trailing pragma: ``# wira-lint: disable=WL001,WL003``
-#: Standalone file pragma: ``# wira-lint: disable-file=WL003``
-_PRAGMA_RE = re.compile(r"#\s*wira-lint:\s*disable(?P<scope>-file)?\s*=\s*(?P<codes>[A-Za-z0-9_, ]+)")
-
-#: Code assigned to files the parser rejects; cannot be suppressed.
-PARSE_ERROR_CODE = "WL000"
-
-_SCREAMING_CASE_RE = re.compile(r"^[A-Z][A-Z0-9_]*$")
+__all__ = [
+    "PARSE_ERROR_CODE",
+    "LintResult",
+    "Violation",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "lint_sources",
+]
 
 
 @dataclass(frozen=True)
@@ -43,430 +56,244 @@ class Violation:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
 
 
-def _normalise(path: str) -> str:
-    return path.replace(os.sep, "/")
+@dataclass
+class LintResult:
+    """Full result of a lint run.
+
+    Iterable as ``(violations, files_scanned)`` so legacy callers that
+    unpack the old two-tuple keep working unchanged.
+    """
+
+    violations: List[Violation]
+    files_scanned: int
+    suppressed_baseline: int = 0
+    stale_baseline: List[Tuple[str, str, str]] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def __iter__(self) -> Iterator:
+        return iter((self.violations, self.files_scanned))
 
 
-def _applicable_rules(path: str, select: Optional[Set[str]]) -> Set[str]:
-    norm = _normalise(path)
-    codes = set()
-    for code, rule in RULES.items():
-        if select is not None and code not in select:
-            continue
-        if any(exempt in norm for exempt in rule.exempt):
-            continue
-        if any(zone in norm for zone in rule.zone):
-            codes.add(code)
-    return codes
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """All ``.py`` files under ``paths``, deduplicated and sorted."""
+    found: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            found.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                parts = candidate.parts
+                if any(part == "__pycache__" or part.startswith(".") for part in parts):
+                    continue
+                found.add(candidate)
+    return sorted(found)
 
 
-def _parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
-    """Return (line -> disabled codes, file-wide disabled codes)."""
-    per_line: Dict[int, Set[str]] = {}
-    per_file: Set[str] = set()
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _PRAGMA_RE.search(text)
-        if match is None:
-            continue
-        codes = {c.strip().upper() for c in match.group("codes").split(",") if c.strip()}
-        if match.group("scope"):
-            per_file |= codes
+# ---------------------------------------------------------------------------
+# Extraction (serial or process pool).
+
+
+def _extract_json(item: Tuple[str, str]) -> dict:
+    """Process-pool worker: extract facts and return the JSON form."""
+    path, source = item
+    return extract_facts(source, path).to_json()
+
+
+def _gather_facts(
+    files: Sequence[Tuple[str, str]],
+    cache: Optional[FactCache],
+    jobs: Optional[int],
+) -> List[FileFacts]:
+    facts_by_path: Dict[str, FileFacts] = {}
+    misses: List[Tuple[str, str]] = []
+    for path, source in files:
+        cached = cache.get(path, source) if cache is not None else None
+        if cached is not None:
+            facts_by_path[path] = cached
         else:
-            per_line.setdefault(lineno, set()).update(codes)
-    return per_line, per_file
+            misses.append((path, source))
+    if misses:
+        if jobs is not None and jobs > 1 and len(misses) > 1:
+            with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+                extracted = list(pool.map(_extract_json, misses, chunksize=8))
+            fresh = [FileFacts.from_json(raw) for raw in extracted]
+        else:
+            fresh = [extract_facts(source, path) for path, source in misses]
+        for (path, source), facts in zip(misses, fresh):
+            facts_by_path[path] = facts
+            if cache is not None:
+                cache.put(path, source, facts)
+    return [facts_by_path[path] for path, _ in files]
 
 
 # ---------------------------------------------------------------------------
-# Identifier heuristics.
+# Suppression and WL009 accounting.
 
 
-def _terminal_name(node: ast.expr) -> Optional[str]:
-    """Innermost identifier of a Name/Attribute/Subscript chain."""
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Subscript):
-        return _terminal_name(node.value)
-    return None
+def _pragma_maps(facts: FileFacts):
+    """(line -> codes, file-wide code -> pragma line) for one file."""
+    by_line: Dict[int, Set[str]] = {}
+    file_wide: Dict[str, int] = {}
+    for line, scope, codes in facts.pragmas:
+        if scope == "file":
+            for code in codes:
+                file_wide.setdefault(code, int(line))
+        else:
+            by_line.setdefault(int(line), set()).update(codes)
+    return by_line, file_wide
 
 
-def _is_time_rate_identifier(name: Optional[str]) -> bool:
-    if not name:
-        return False
-    return bool(set(name.lower().split("_")) & TIME_RATE_WORDS)
-
-
-def _dotted(node: ast.expr) -> Optional[str]:
-    """Render ``a.b.c`` attribute chains; None for anything else."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def _is_infinity(node: ast.expr) -> bool:
-    """``float("inf")`` / ``math.inf`` / their negations compare exactly."""
-    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
-        return _is_infinity(node.operand)
-    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) and node.func.id == "float":
-        if len(node.args) == 1 and isinstance(node.args[0], ast.Constant):
-            value = node.args[0].value
-            return isinstance(value, str) and "inf" in value.lower()
-    dotted = _dotted(node)
-    return dotted in ("math.inf", "math.nan")
-
-
-# ---------------------------------------------------------------------------
-# The visitor.
-
-
-class _Checker(ast.NodeVisitor):
-    def __init__(self, path: str, active: Set[str]) -> None:
-        self.path = path
-        self.active = active
-        self.violations: List[Violation] = []
-        self._func_stack: List[str] = []
-        # Import tracking: local alias -> canonical module, and names
-        # imported straight into the namespace -> (module, original).
-        self._module_aliases: Dict[str, str] = {}
-        self._from_imports: Dict[str, Tuple[str, str]] = {}
-
-    # -- plumbing ------------------------------------------------------
-
-    def _report(self, node: ast.AST, code: str, message: str) -> None:
-        if code in self.active:
-            self.violations.append(
-                Violation(
-                    self.path,
-                    getattr(node, "lineno", 0),
-                    getattr(node, "col_offset", 0),
-                    code,
-                    message,
-                )
-            )
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            root = alias.name.split(".")[0]
-            if root in ("time", "datetime", "random"):
-                self._module_aliases[alias.asname or root] = root
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module:
-            root = node.module.split(".")[0]
-            if root in ("time", "datetime", "random"):
-                for alias in node.names:
-                    self._from_imports[alias.asname or alias.name] = (root, alias.name)
-        self.generic_visit(node)
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._check_typed_def(node)
-        self._func_stack.append(node.name)
-        self.generic_visit(node)
-        self._func_stack.pop()
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._check_typed_def(node)
-        self._func_stack.append(node.name)
-        self.generic_visit(node)
-        self._func_stack.pop()
-
-    # -- WL001 / WL002: calls ------------------------------------------
-
-    def visit_Call(self, node: ast.Call) -> None:
-        self._check_wall_clock(node)
-        self._check_randomness(node)
-        self._check_bare_print(node)
-        self.generic_visit(node)
-
-    # -- WL007: no bare print in library code --------------------------
-
-    def _check_bare_print(self, node: ast.Call) -> None:
-        if isinstance(node.func, ast.Name) and node.func.id == "print":
-            self._report(
-                node,
-                "WL007",
-                "bare print() in library code; use logging or return a report",
-            )
-
-    def _resolve_call(self, node: ast.Call) -> Optional[Tuple[str, str]]:
-        """Resolve a call target to ``(module, function)`` for the three
-        tracked stdlib modules, following both import styles."""
-        func = node.func
-        if isinstance(func, ast.Name):
-            imported = self._from_imports.get(func.id)
-            if imported is not None:
-                return imported
-            return None
-        dotted = _dotted(func)
-        if dotted is None:
-            return None
-        head, _, rest = dotted.partition(".")
-        module = self._module_aliases.get(head)
-        if module is not None and rest:
-            return module, rest
-        imported = self._from_imports.get(head)
-        if imported is not None and rest:
-            # e.g. ``from datetime import datetime`` then ``datetime.now``.
-            return imported[0], f"{imported[1]}.{rest}"
-        return None
-
-    def _check_wall_clock(self, node: ast.Call) -> None:
-        resolved = self._resolve_call(node)
-        if resolved is None:
-            return
-        module, func = resolved
-        if module == "time" and func in WALL_CLOCK_TIME_FUNCS:
-            self._report(
-                node,
-                "WL001",
-                f"wall-clock read time.{func}(); simulation code must use EventLoop.now",
-            )
-        elif module == "datetime":
-            tail = func.split(".")[-1]
-            if tail in WALL_CLOCK_DATETIME_FUNCS:
-                self._report(
-                    node,
-                    "WL001",
-                    f"wall-clock read datetime {func}(); simulation code must use EventLoop.now",
-                )
-
-    def _check_randomness(self, node: ast.Call) -> None:
-        resolved = self._resolve_call(node)
-        if resolved is None:
-            return
-        module, func = resolved
-        if module != "random":
-            return
-        if func in GLOBAL_RANDOM_FUNCS:
-            self._report(
-                node,
-                "WL002",
-                f"module-level random.{func}() uses the process-global RNG; "
-                "take a seeded random.Random from the caller",
-            )
-        elif func == "Random":
-            if not node.args and not node.keywords:
-                self._report(
-                    node,
-                    "WL002",
-                    "random.Random() without a seed is nondeterministic; "
-                    "require a caller-supplied seeded instance",
-                )
-            elif len(node.args) == 1 and isinstance(node.args[0], ast.Constant):
-                self._report(
-                    node,
-                    "WL002",
-                    f"random.Random({node.args[0].value!r}) hard-codes the seed; "
-                    "require an explicit rng (or pragma-document the fallback)",
-                )
-
-    # -- WL003: float equality -----------------------------------------
-
-    def visit_Compare(self, node: ast.Compare) -> None:
-        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
-            operands = [node.left] + list(node.comparators)
-            if not any(_is_infinity(op) for op in operands):
-                flagged = self._float_equality_operand(operands)
-                if flagged is not None:
-                    self._report(
-                        node,
-                        "WL003",
-                        f"float equality on time/rate quantity {flagged!r}; "
-                        "compare with a tolerance or restructure",
-                    )
-        self.generic_visit(node)
-
-    @staticmethod
-    def _float_equality_operand(operands: Sequence[ast.expr]) -> Optional[str]:
-        # ALL_CAPS terminal identifiers are named constants (enum members,
-        # wire tags, gain tables): comparing against them is exact by
-        # construction, not an arithmetic float comparison.
-        names = [
-            name
-            for name in (_terminal_name(op) for op in operands)
-            if name is not None and not _SCREAMING_CASE_RE.match(name)
-        ]
-        has_float_literal = any(
-            isinstance(op, ast.Constant) and isinstance(op.value, float) for op in operands
-        )
-        for name in names:
-            if _is_time_rate_identifier(name):
-                return name
-        if has_float_literal and names:
-            # ``x == 0.5``: a float literal against any identifier.
-            return names[0]
-        return None
-
-    # -- WL004: __slots__ registry -------------------------------------
-
-    def visit_ClassDef(self, node: ast.ClassDef) -> None:
-        if node.name in SLOTS_REGISTRY and not self._declares_slots(node):
-            self._report(
-                node,
-                "WL004",
-                f"hot-path class {node.name} must declare __slots__ "
-                "(or use @dataclass(slots=True))",
-            )
-        self.generic_visit(node)
-
-    @staticmethod
-    def _declares_slots(node: ast.ClassDef) -> bool:
-        for stmt in node.body:
-            targets: List[ast.expr] = []
-            if isinstance(stmt, ast.Assign):
-                targets = stmt.targets
-            elif isinstance(stmt, ast.AnnAssign):
-                targets = [stmt.target]
-            for target in targets:
-                if isinstance(target, ast.Name) and target.id == "__slots__":
-                    return True
-        for decorator in node.decorator_list:
-            if isinstance(decorator, ast.Call) and _terminal_name(decorator.func) == "dataclass":
-                for keyword in decorator.keywords:
-                    if (
-                        keyword.arg == "slots"
-                        and isinstance(keyword.value, ast.Constant)
-                        and keyword.value.value is True
-                    ):
-                        return True
-        return False
-
-    # -- WL005: merge-path dict iteration ------------------------------
-
-    def visit_For(self, node: ast.For) -> None:
-        self._check_merge_iteration(node.iter)
-        self.generic_visit(node)
-
-    def visit_comprehension(self, node: ast.comprehension) -> None:
-        self._check_merge_iteration(node.iter)
-        self.generic_visit(node)
-
-    def _in_merge_path(self) -> bool:
-        return any(MERGE_FUNC_RE.search(name) for name in self._func_stack)
-
-    def _check_merge_iteration(self, iter_node: ast.expr) -> None:
-        if "WL005" not in self.active or not self._in_merge_path():
-            return
-        for view_call, sorted_ancestor in self._dict_view_calls(iter_node, False):
-            if sorted_ancestor:
-                continue
-            attr = view_call.func.attr  # type: ignore[attr-defined]
-            base = _terminal_name(view_call.func.value)  # type: ignore[attr-defined]
-            self._report(
-                view_call,
-                "WL005",
-                f"merge path iterates {base or 'a dict'}.{attr}() in insertion "
-                "order; wrap in sorted(...) with an explicit key",
-            )
-
-    def _dict_view_calls(
-        self, node: ast.expr, under_sorted: bool
-    ) -> Iterable[Tuple[ast.Call, bool]]:
-        if isinstance(node, ast.Call):
-            func = node.func
-            if isinstance(func, ast.Name) and func.id == "sorted":
-                for arg in node.args:
-                    yield from self._dict_view_calls(arg, True)
-                return
-            if isinstance(func, ast.Attribute) and func.attr in ("values", "items", "keys"):
-                yield node, under_sorted
-                return
-            for arg in node.args:
-                yield from self._dict_view_calls(arg, under_sorted)
-
-    # -- WL006: typed defs ---------------------------------------------
-
-    def _check_typed_def(self, node: ast.AST) -> None:
-        if "WL006" not in self.active:
-            return
-        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-        args = node.args
-        missing: List[str] = []
-        for arg in args.posonlyargs + args.args + args.kwonlyargs:
-            if arg.annotation is None and arg.arg not in ("self", "cls"):
-                missing.append(arg.arg)
-        if args.vararg is not None and args.vararg.annotation is None:
-            missing.append("*" + args.vararg.arg)
-        if args.kwarg is not None and args.kwarg.annotation is None:
-            missing.append("**" + args.kwarg.arg)
-        if node.returns is None:
-            missing.append("return type")
-        if missing:
-            self._report(
-                node,
-                "WL006",
-                f"def {node.name} in a typed zone is missing annotations: "
-                + ", ".join(missing),
-            )
-
-
-# ---------------------------------------------------------------------------
-# Entry points.
-
-
-def lint_source(
-    source: str, path: str, select: Optional[Set[str]] = None
+def _apply_pragmas(
+    all_facts: Sequence[FileFacts],
+    violations: List[Violation],
+    select: Optional[Set[str]],
 ) -> List[Violation]:
-    """Lint one unit of source as if it lived at ``path``."""
-    active = _applicable_rules(path, select)
-    if not active:
-        return []
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Violation(path, exc.lineno or 0, exc.offset or 0, PARSE_ERROR_CODE, f"parse error: {exc.msg}")
-        ]
-    per_line, per_file = _parse_pragmas(source)
-    checker = _Checker(path, active)
-    checker.visit(tree)
-    kept = []
-    for violation in checker.violations:
-        if violation.code in per_file:
+    """Drop pragma-suppressed findings; emit WL009 for dead pragmas."""
+    maps = {facts.path: _pragma_maps(facts) for facts in all_facts}
+    used: Set[Tuple[str, int, str]] = set()
+    kept: List[Violation] = []
+    for violation in violations:
+        if violation.code == PARSE_ERROR_CODE or violation.path not in maps:
+            kept.append(violation)
             continue
-        if violation.code in per_line.get(violation.line, ()):
+        by_line, file_wide = maps[violation.path]
+        if violation.code in by_line.get(violation.line, ()):
+            used.add((violation.path, violation.line, violation.code))
+        elif violation.code in file_wide:
+            used.add((violation.path, file_wide[violation.code], violation.code))
+        else:
+            kept.append(violation)
+
+    wl009 = RULES["WL009"]
+    if select is not None and "WL009" not in select:
+        return kept
+    for facts in all_facts:
+        if facts.parse_error is not None or not wl009.applies_to(facts.path):
             continue
-        kept.append(violation)
+        by_line, file_wide = maps[facts.path]
+        for line, scope, codes in facts.pragmas:
+            line = int(line)
+            # A pragma naming WL009 on its own line (or file-wide) is the
+            # explicit opt-out for this check.
+            if "WL009" in by_line.get(line, ()) or "WL009" in file_wide:
+                continue
+            for code in codes:
+                if code == "WL009":
+                    continue
+                rule = RULES.get(code)
+                if rule is None:
+                    message = f"pragma disables unknown rule code {code}"
+                elif select is not None and code not in select:
+                    continue  # rule not run this time: cannot judge usefulness
+                elif not rule.applies_to(facts.path):
+                    message = (
+                        f"pragma disables {code} ({rule.name}) which cannot "
+                        "fire in this file; remove it"
+                    )
+                elif (facts.path, line, code) not in used:
+                    message = (
+                        f"pragma disables {code} ({rule.name}) but suppresses "
+                        "no finding; remove it"
+                    )
+                else:
+                    continue
+                kept.append(Violation(facts.path, line, 0, "WL009", message))
     return kept
 
 
+# ---------------------------------------------------------------------------
+# Core pipeline.
+
+
+def _analyze(
+    files: Sequence[Tuple[str, str]],
+    select: Optional[Set[str]] = None,
+    cache: Optional[FactCache] = None,
+    jobs: Optional[int] = None,
+) -> List[Violation]:
+    all_facts = _gather_facts(files, cache, jobs)
+    violations: List[Violation] = []
+    for facts in all_facts:
+        if facts.parse_error is not None:
+            line, col, message = facts.parse_error
+            violations.append(
+                Violation(facts.path, int(line), int(col), PARSE_ERROR_CODE, message)
+            )
+            continue
+        for line, col, code, message in facts.violations:
+            if select is None or code in select:
+                violations.append(Violation(facts.path, int(line), int(col), code, message))
+    program = Program([f for f in all_facts if f.parse_error is None])
+    for path, line, col, code, message in program.findings(select):
+        violations.append(Violation(path, line, col, code, message))
+    violations = _apply_pragmas(all_facts, violations, select)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code, v.message))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Public entry points.
+
+
+def lint_source(source: str, path: str, select: Optional[Set[str]] = None) -> List[Violation]:
+    """Lint one in-memory file (whole-program passes see only it)."""
+    return _analyze([(path.replace("\\", "/"), source)], select)
+
+
+def lint_sources(sources: Dict[str, str], select: Optional[Set[str]] = None) -> List[Violation]:
+    """Lint a set of in-memory files as one program (fixture helper)."""
+    files = [(path.replace("\\", "/"), text) for path, text in sorted(sources.items())]
+    return _analyze(files, select)
+
+
 def lint_file(path: str, select: Optional[Set[str]] = None) -> List[Violation]:
-    try:
-        source = Path(path).read_text(encoding="utf-8")
-    except (OSError, UnicodeDecodeError) as exc:
-        return [Violation(path, 0, 0, PARSE_ERROR_CODE, f"unreadable file: {exc}")]
-    return lint_source(source, path, select)
-
-
-def iter_python_files(paths: Sequence[str]) -> List[str]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
-    found: List[str] = []
-    for entry in paths:
-        p = Path(entry)
-        if p.is_dir():
-            for sub in sorted(p.rglob("*.py")):
-                parts = set(sub.parts)
-                if "__pycache__" in parts or any(part.startswith(".") for part in sub.parts):
-                    continue
-                found.append(str(sub))
-        elif p.suffix == ".py":
-            found.append(str(p))
-    return found
+    return lint_source(Path(path).read_text(), str(path), select)
 
 
 def lint_paths(
-    paths: Sequence[str], select: Optional[Set[str]] = None
-) -> Tuple[List[Violation], int]:
-    """Lint every ``.py`` under ``paths``; returns (violations, files scanned)."""
-    files = iter_python_files(paths)
-    violations: List[Violation] = []
-    for file_path in files:
-        violations.extend(lint_file(file_path, select))
-    return violations, len(files)
+    paths: Sequence[str],
+    select: Optional[Set[str]] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    baseline_path: Optional[str] = None,
+    update_baseline: bool = False,
+) -> LintResult:
+    """Lint files/directories; returns a :class:`LintResult`.
+
+    ``baseline_path`` (when set and not updating) suppresses findings
+    recorded in the baseline and reports entries that no longer match as
+    stale — CI fails on stale entries so the baseline can only shrink.
+    """
+    files: List[Tuple[str, str]] = []
+    for path in iter_python_files(paths):
+        files.append((str(path).replace("\\", "/"), path.read_text()))
+    cache = FactCache(Path(cache_dir)) if cache_dir is not None else None
+    violations = _analyze(files, select, cache, jobs)
+    if cache is not None:
+        cache.save()
+
+    result = LintResult(violations=violations, files_scanned=len(files))
+    if cache is not None:
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
+    if baseline_path is None:
+        return result
+
+    reportable = [v for v in violations if v.code != PARSE_ERROR_CODE]
+    parse_errors = [v for v in violations if v.code == PARSE_ERROR_CODE]
+    if update_baseline:
+        save_baseline(Path(baseline_path), reportable)
+        result.violations = parse_errors
+        result.suppressed_baseline = len(reportable)
+        return result
+    baseline = load_baseline(Path(baseline_path))
+    kept, suppressed, stale = apply_baseline(reportable, baseline)
+    result.violations = sorted(
+        parse_errors + kept, key=lambda v: (v.path, v.line, v.col, v.code, v.message)
+    )
+    result.suppressed_baseline = suppressed
+    result.stale_baseline = stale
+    return result

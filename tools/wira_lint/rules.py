@@ -1,16 +1,30 @@
-"""Rule registry: codes, scopes, and the name tables the checkers use.
+"""Rule registry: codes, zones, and the name tables the checkers use.
 
-Scopes map a rule to the portion of the tree it patrols.  Paths are
-matched by substring against a ``/``-normalised path, so the registry
-works both on checkouts (``src/repro/simnet/...``) and on test fixtures
-written to a temporary directory mirroring the layout.
+Zone matching
+-------------
+A zone entry like ``src/repro/simnet`` is an **anchored segment
+pattern**: it matches a path when its ``/``-separated segments appear as
+a contiguous run of whole path segments, with the final zone segment
+allowed to name either a directory (``.../simnet/engine.py``) or the
+module file itself (``src/repro/cdn/batchrun`` matches
+``src/repro/cdn/batchrun.py``).  Each segment is an ``fnmatch`` glob, so
+``src/repro/*`` is legal.  Segment anchoring is what lets the registry
+work both on checkouts and on test fixtures written to a temporary
+directory mirroring the layout (``/tmp/.../src/repro/simnet/x.py``)
+while rejecting near-misses such as ``src/repro/cdn/batchrun_extra.py``
+or ``notsrc/repro/simnet/x.py`` that the old substring matcher accepted.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Tuple
+from fnmatch import fnmatchcase
+from typing import Optional, Tuple
+
+#: Bump when rule semantics change in a way that must invalidate cached
+#: per-file facts (the fact cache keys on this).
+RULES_FINGERPRINT = "wira-lint-rules-v7"
 
 #: Simulation zone: code that must be bit-exact deterministic.  These are
 #: the packages replayed under the content-hash disk cache; one wall-clock
@@ -21,6 +35,16 @@ SIM_ZONE: Tuple[str, ...] = (
     "src/repro/core",
     "src/repro/workload",
     "src/repro/faults",
+)
+
+#: Replay zone: everything whose behaviour feeds replayed results.  The
+#: interprocedural taint rules (WL010/WL011) patrol this superset of the
+#: simulation zone — a wall-clock read laundered through a ``media`` or
+#: ``cdn`` helper poisons figures just as surely as a direct read in
+#: ``simnet``.
+REPLAY_ZONE: Tuple[str, ...] = SIM_ZONE + (
+    "src/repro/cdn",
+    "src/repro/media",
 )
 
 #: Typed zone: packages under the mypy ``disallow_untyped_defs`` contract
@@ -38,6 +62,37 @@ TYPED_ZONE: Tuple[str, ...] = (
 #: Whole-package zone for the style/structure rules.
 SRC_ZONE: Tuple[str, ...] = ("src/repro",)
 
+#: Zone for the deprecation-usage rule: deprecated APIs must not reappear
+#: anywhere, including tests, examples, and benchmarks.
+EVERYWHERE_ZONE: Tuple[str, ...] = (
+    "src/repro",
+    "tests",
+    "examples",
+    "benchmarks",
+)
+
+
+def zone_match(path: str, zone: str) -> bool:
+    """Anchored segment match of ``zone`` against ``path`` (see module
+    docstring).  Both are ``/``-separated; ``path`` may be absolute."""
+    segments = [part for part in path.split("/") if part not in ("", ".")]
+    zparts = zone.split("/")
+    width = len(zparts)
+    if width == 0 or len(segments) < width:
+        return False
+    for start in range(len(segments) - width + 1):
+        window = segments[start : start + width]
+        if not all(fnmatchcase(window[i], zparts[i]) for i in range(width - 1)):
+            continue
+        last, zlast = window[-1], zparts[-1]
+        if fnmatchcase(last, zlast) or fnmatchcase(last, zlast + ".py"):
+            return True
+    return False
+
+
+def zone_match_any(path: str, zones: Tuple[str, ...]) -> bool:
+    return any(zone_match(path, zone) for zone in zones)
+
 
 @dataclass(frozen=True)
 class Rule:
@@ -45,8 +100,17 @@ class Rule:
     name: str
     summary: str
     zone: Tuple[str, ...]
-    #: Path substrings exempt from the rule even inside its zone.
+    #: Anchored segment patterns exempt from the rule even inside its zone.
     exempt: Tuple[str, ...] = ()
+    #: Whole-program rules need every file's facts before they can fire;
+    #: per-file rules run (and cache) file by file.
+    whole_program: bool = False
+
+    def applies_to(self, path: str) -> bool:
+        norm = path.replace("\\", "/")
+        if zone_match_any(norm, self.exempt):
+            return False
+        return zone_match_any(norm, self.zone)
 
 
 RULES = {
@@ -77,8 +141,9 @@ RULES = {
     "WL005": Rule(
         "WL005",
         "deterministic-merge",
-        "merge paths must not iterate dicts in insertion order",
+        "merge/serialization paths must not iterate dicts in insertion order",
         SRC_ZONE,
+        whole_program=True,
     ),
     "WL006": Rule(
         "WL006",
@@ -94,6 +159,64 @@ RULES = {
         # Report rendering and the experiment drivers are presentation
         # layers whose job is terminal output.
         exempt=("src/repro/experiments", "src/repro/metrics/report"),
+    ),
+    "WL009": Rule(
+        "WL009",
+        "unused-pragma",
+        "wira-lint pragmas must suppress at least one live finding",
+        # Tests embed pragma-bearing fixture snippets inside string
+        # literals, which the line-based pragma scanner cannot tell from
+        # real pragmas — so staleness is only enforced on shipped code.
+        ("src/repro", "examples"),
+        whole_program=True,
+    ),
+    "WL010": Rule(
+        "WL010",
+        "no-wall-clock-taint",
+        "replay-zone code must not transitively call wall-clock readers",
+        REPLAY_ZONE,
+        whole_program=True,
+    ),
+    "WL011": Rule(
+        "WL011",
+        "no-global-rng-taint",
+        "replay-zone code must not transitively use the process-global RNG",
+        REPLAY_ZONE,
+        whole_program=True,
+    ),
+    "WL012": Rule(
+        "WL012",
+        "settings-knobs",
+        "WIRA_* environment knobs must flow through runtime.Settings",
+        ("src/repro", "tools"),
+        exempt=("src/repro/runtime/settings",),
+    ),
+    "WL013": Rule(
+        "WL013",
+        "event-registry",
+        "emitted obs event names and events.EVENT_NAMES must agree",
+        SRC_ZONE,
+        whole_program=True,
+    ),
+    "WL014": Rule(
+        "WL014",
+        "invariant-registry",
+        "sanitizer invariant names raised and INVARIANTS must agree",
+        SRC_ZONE,
+        whole_program=True,
+    ),
+    "WL015": Rule(
+        "WL015",
+        "event-loop-surface",
+        "classes passed where an EventLoop is expected must provide its surface",
+        SRC_ZONE,
+        whole_program=True,
+    ),
+    "WL016": Rule(
+        "WL016",
+        "no-deprecated-api",
+        "deprecated construction APIs must not be used",
+        EVERYWHERE_ZONE,
     ),
 }
 
@@ -195,3 +318,33 @@ SLOTS_REGISTRY = frozenset(
 #: are recombined, iteration order must come from an explicit sort key,
 #: never from dict insertion order (which differs shard-by-shard).
 MERGE_FUNC_RE = re.compile(r"(?:^|_)(merge|replay|aggregate|combine|reduce|recombine)", re.I)
+
+#: Duck-type contracts for WL015: any class statically observed flowing
+#: into a parameter annotated with (or ``typing.cast`` to) the contract
+#: name must provide every member of the surface.  ``EventLoop`` is the
+#: canonical solo scheduler; ``BatchEventLoop`` members (``MemberLoop``)
+#: duck-type the same surface so sessions cannot tell solo from batched.
+DUCK_CONTRACTS = {
+    "EventLoop": ("now", "post_at", "post_later", "pending_events"),
+}
+
+#: Deprecated construction APIs for WL016.  Maps the module that still
+#: exports the deprecated name to (name, replacement-hint).
+DEPRECATED_ALIASES = {
+    ("repro.workload", "SessionSpec"): "use repro.workload.population.PlannedSession",
+    ("repro.workload.population", "SessionSpec"): "use PlannedSession",
+}
+
+#: Classes whose direct-call constructor is deprecated (WL016): the
+#: supported path is the named classmethod.
+DEPRECATED_CTORS = {
+    "StreamingSession": "build a SessionSpec and call StreamingSession.from_spec",
+}
+
+#: Module-level registry assignments the contract cross-checks consume.
+#: Any scanned file assigning one of these names to a literal collection
+#: of strings contributes to the program-wide registry of that kind.
+REGISTRY_NAMES = ("EVENT_NAMES", "INVARIANTS", "KNOWN_KNOBS")
+
+#: Shape of an obs event name: ``category:event``.
+EVENT_NAME_RE = re.compile(r"^[a-z_]+:[a-z_]+$")
