@@ -2,10 +2,13 @@
 
 Measures the campaign machinery, not the paper's numbers: sessions/sec
 for the serial and sharded paths, the serial==sharded report-hash check,
-and peak RSS — the engine's promise is bounded memory at any campaign
-size, so the artifact records the high-water mark alongside throughput.
-Results accumulate into ``BENCH_fleet.json`` at the repository root so
-CI can archive them run-over-run.
+peak RSS — the engine's promise is bounded memory at any campaign
+size, so the artifact records the high-water mark alongside throughput —
+and the wall-clock cost of the durability/observability taps
+(checkpointing, telemetry snapshots).  Results accumulate into
+``BENCH_fleet.json`` at the repository root so CI can archive them
+run-over-run; ``wira-perf`` folds the campaign throughput and
+checkpoint-overhead fraction into the regression ratchet.
 
 Knobs (for CI smoke runs on small machines):
 
@@ -143,4 +146,48 @@ def test_bench_fleet_checkpoint_overhead(once, tmp_path, capsys):
         print(
             f"\nfleet checkpoint overhead: {payload['overhead_frac']:+.1%} "
             f"({bare:.2f}s -> {checked:.2f}s, every chunk)"
+        )
+
+
+def test_bench_fleet_telemetry_overhead(once, tmp_path, capsys):
+    """Snapshot tap on vs off: the observability tax.
+
+    The acceptance bar for the telemetry tap is ≤2% wall-clock overhead
+    at production scale; at smoke scale the write cost is amortized over
+    far fewer sessions, so the artifact records the measured fraction
+    for the perf trajectory rather than asserting a threshold here.
+    """
+    base = _bench_config().with_(
+        population=DeploymentConfig(n_od_pairs=max(10, _bench_od_pairs() // 3), seed=42),
+        checkpoint_every=1,
+    )
+
+    def legs():
+        start = time.perf_counter()
+        run_campaign(base, checkpoint_path=tmp_path / "a.json", jobs=1)
+        plain = time.perf_counter() - start
+
+        start = time.perf_counter()
+        run_campaign(
+            base,
+            checkpoint_path=tmp_path / "b.json",
+            jobs=1,
+            telemetry_dir=tmp_path / "b.json.telemetry",
+        )
+        tapped = time.perf_counter() - start
+        return plain, tapped
+
+    plain, tapped = once(legs)
+    overhead = (tapped - plain) / plain if plain > 0 else 0.0
+    payload = {
+        "od_pairs": base.population.n_od_pairs,
+        "plain_seconds": round(plain, 3),
+        "telemetry_seconds": round(tapped, 3),
+        "overhead_frac": round(overhead, 4),
+    }
+    _record("telemetry_overhead", payload)
+    with capsys.disabled():
+        print(
+            f"\nfleet telemetry overhead: {payload['overhead_frac']:+.1%} "
+            f"({plain:.2f}s -> {tapped:.2f}s, snapshot per chunk)"
         )

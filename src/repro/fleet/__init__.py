@@ -8,7 +8,11 @@ index-addressable :class:`~repro.workload.population.FleetPopulation`
 whose per-session results fold immediately into mergeable streaming
 aggregates (:mod:`repro.fleet.aggregate`), with periodic atomic
 checkpoints (:mod:`repro.fleet.checkpoint`) so interrupted campaigns
-resume from the last completed chunk.
+resume from the last completed chunk.  A running campaign is observable
+live: the telemetry tap (:mod:`repro.fleet.telemetry`) writes one
+mergeable snapshot per completed chunk, and the HTML renderer
+(:mod:`repro.fleet.htmlreport`) turns a finished campaign into a
+self-contained artifact.
 
 Determinism contract: serial (``jobs=1``) and sharded (``jobs=N``)
 campaigns — and resumed versus uninterrupted ones — produce
@@ -30,6 +34,7 @@ from repro.fleet.aggregate import CampaignAggregate, SchemeAggregate, merge_chun
 from repro.fleet.checkpoint import (
     CHECKPOINT_FORMAT_VERSION,
     CheckpointState,
+    atomic_write_json,
     load_checkpoint,
     save_checkpoint,
 )
@@ -42,7 +47,20 @@ from repro.fleet.engine import (
     run_campaign,
     run_chunk,
 )
+from repro.fleet.htmlreport import render_html_report
 from repro.fleet.report import PERCENTILES, build_report, canonical_json, report_hash
+from repro.fleet.telemetry import (
+    TELEMETRY_SCHEMA_VERSION,
+    LiveStatus,
+    TelemetrySchemaError,
+    TelemetrySnapshot,
+    default_telemetry_dir,
+    live_status,
+    load_snapshot,
+    merge_snapshots,
+    scan_snapshots,
+    write_snapshot,
+)
 
 __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
@@ -53,14 +71,26 @@ __all__ = [
     "FLEET_FORMAT_VERSION",
     "FleetCampaign",
     "FleetConfig",
+    "LiveStatus",
     "PERCENTILES",
     "SchemeAggregate",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetrySchemaError",
+    "TelemetrySnapshot",
+    "atomic_write_json",
     "build_report",
     "canonical_json",
+    "default_telemetry_dir",
+    "live_status",
     "load_checkpoint",
+    "load_snapshot",
     "merge_chunks",
+    "merge_snapshots",
+    "render_html_report",
     "report_hash",
     "run_campaign",
     "run_chunk",
     "save_checkpoint",
+    "scan_snapshots",
+    "write_snapshot",
 ]

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Mapping, Tuple
 
 from repro.cdn.session import SessionResult
 from repro.metrics.sketch import DEFAULT_ALPHA, QuantileSketch, StatAccumulator
+from repro.obs.profiler import PHASES
 from repro.quic.connection import HandshakeMode
 from repro.workload.population import PlannedSession
 
@@ -49,6 +50,7 @@ class SchemeAggregate:
         "ffct_sketch",
         "fflr_stats",
         "fflr_sketch",
+        "phase_stats",
     )
 
     def __init__(self, alpha: float = DEFAULT_ALPHA) -> None:
@@ -62,6 +64,12 @@ class SchemeAggregate:
         self.ffct_sketch = QuantileSketch(alpha=alpha)
         self.fflr_stats = StatAccumulator()
         self.fflr_sketch = QuantileSketch(alpha=alpha)
+        # FFCT phase decomposition (repro.obs.profiler), populated only
+        # when sessions ran under an active trace bus — the breakdown is
+        # computed from trace events.  All-zero counts otherwise.
+        self.phase_stats: Dict[str, StatAccumulator] = {
+            name: StatAccumulator() for name in PHASES
+        }
 
     def fold(self, planned: PlannedSession, result: SessionResult) -> None:
         """Absorb one session outcome and forget it."""
@@ -79,6 +87,15 @@ class SchemeAggregate:
         if fflr is not None:
             self.fflr_stats.add(fflr)
             self.fflr_sketch.add(fflr)
+        breakdown = result.phase_breakdown
+        if breakdown is not None:
+            for name in PHASES:
+                self.phase_stats[name].add(breakdown.phase(name))
+
+    @property
+    def phase_sessions(self) -> int:
+        """Sessions that contributed an FFCT phase breakdown."""
+        return self.phase_stats[PHASES[0]].count
 
     def merge(self, other: "SchemeAggregate") -> None:
         for name in _COUNTERS:
@@ -87,6 +104,8 @@ class SchemeAggregate:
         self.ffct_sketch.merge(other.ffct_sketch)
         self.fflr_stats.merge(other.fflr_stats)
         self.fflr_sketch.merge(other.fflr_sketch)
+        for name in PHASES:
+            self.phase_stats[name].merge(other.phase_stats[name])
 
     def to_json(self) -> Dict[str, object]:
         payload: Dict[str, object] = {name: getattr(self, name) for name in _COUNTERS}
@@ -94,6 +113,7 @@ class SchemeAggregate:
         payload["ffct_sketch"] = self.ffct_sketch.to_json()
         payload["fflr_stats"] = self.fflr_stats.to_json()
         payload["fflr_sketch"] = self.fflr_sketch.to_json()
+        payload["phases"] = {name: self.phase_stats[name].to_json() for name in PHASES}
         return payload
 
     @classmethod
@@ -105,6 +125,10 @@ class SchemeAggregate:
         agg.ffct_sketch = QuantileSketch.from_json(payload["ffct_sketch"])  # type: ignore[arg-type]
         agg.fflr_stats = StatAccumulator.from_json(payload["fflr_stats"])  # type: ignore[arg-type]
         agg.fflr_sketch = QuantileSketch.from_json(payload["fflr_sketch"])  # type: ignore[arg-type]
+        phases: Mapping[str, Mapping[str, object]] = payload["phases"]  # type: ignore[assignment]
+        agg.phase_stats = {
+            name: StatAccumulator.from_json(phases[name]) for name in PHASES
+        }
         return agg
 
 
@@ -148,7 +172,7 @@ class CampaignAggregate:
         agg.alpha = float(payload["alpha"])  # type: ignore[arg-type]
         schemes: Mapping[str, Mapping[str, object]] = payload["schemes"]  # type: ignore[assignment]
         agg.schemes = {
-            value: SchemeAggregate.from_json(entry) for value, entry in schemes.items()
+            value: SchemeAggregate.from_json(schemes[value]) for value in sorted(schemes)
         }
         return agg
 

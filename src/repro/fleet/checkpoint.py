@@ -54,14 +54,22 @@ class CheckpointState:
         }
 
 
-def save_checkpoint(path: Path, state: CheckpointState) -> None:
-    """Atomically persist ``state``; failures are logged, not raised."""
+def atomic_write_json(path: Path, payload: object) -> bool:
+    """Atomically persist ``payload`` as canonical JSON at ``path``.
+
+    The one durability primitive of the fleet layer — checkpoints and
+    telemetry snapshots both go through it: ``tempfile`` in the target
+    directory + ``os.replace``, so a reader polling the path only ever
+    sees the previous complete file or the new complete file, never a
+    torn write.  Failures are logged and reported as ``False``, never
+    raised — losing a snapshot must not kill a campaign.
+    """
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(state.to_json(), fh, sort_keys=True, separators=(",", ":"))
+                json.dump(payload, fh, sort_keys=True, separators=(",", ":"))
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -70,7 +78,14 @@ def save_checkpoint(path: Path, state: CheckpointState) -> None:
                 pass
             raise
     except Exception as exc:
-        logger.warning("could not persist checkpoint to %s (%s)", path, exc)
+        logger.warning("could not persist %s (%s)", path, exc)
+        return False
+    return True
+
+
+def save_checkpoint(path: Path, state: CheckpointState) -> None:
+    """Atomically persist ``state``; failures are logged, not raised."""
+    atomic_write_json(path, state.to_json())
 
 
 def load_checkpoint(path: Path) -> Optional[CheckpointState]:
@@ -121,6 +136,7 @@ def _parse(payload: object) -> Optional[CheckpointState]:
 __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
     "CheckpointState",
+    "atomic_write_json",
     "load_checkpoint",
     "save_checkpoint",
 ]

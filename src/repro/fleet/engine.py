@@ -23,20 +23,37 @@ import hashlib
 import json
 import logging
 import multiprocessing
+import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 
+from repro import obs as _obs
 from repro.core.config import WiraConfig
 from repro.core.initializer import Scheme
 from repro.fleet.aggregate import CampaignAggregate, merge_chunks
 from repro.fleet.checkpoint import CheckpointState, load_checkpoint, save_checkpoint
+from repro.fleet.telemetry import TelemetrySnapshot, snapshot_path, write_snapshot
 from repro.metrics.sketch import DEFAULT_ALPHA
 from repro.runtime import settings
 from repro.workload.population import DeploymentConfig, FleetPopulation
 
 logger = logging.getLogger(__name__)
+
+
+def _trace(name: str, data: Dict[str, object]) -> None:
+    """Emit a ``fleet:*`` milestone onto the active trace bus, if any.
+
+    Campaign milestones are driver-side wall-clock moments, not simulated
+    ones, so they carry ``time=0.0`` and the sentinel connection id
+    ``"fleet"`` — they live in the bus ring buffer and counters for
+    inspection, but are emitted outside any session scope and therefore
+    never land in per-session trace files (whose byte streams stay
+    identical with or without a campaign running).
+    """
+    if _obs.ACTIVE is not None:
+        _obs.ACTIVE.emit(0.0, name, "fleet", data)
 
 #: Bump when chunk semantics change; folded into the campaign key.
 FLEET_FORMAT_VERSION = 1
@@ -196,13 +213,19 @@ class FleetCampaign:
         config: FleetConfig,
         checkpoint_path: Optional[Path] = None,
         progress: Optional[ProgressFn] = None,
+        telemetry_dir: Optional[Path] = None,
     ) -> None:
         self.config = config
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.progress = progress
+        # Where live telemetry snapshots land, one per completed chunk.
+        # A runtime concern, deliberately NOT part of FleetConfig: the
+        # campaign key must not change because an operator watches.
+        self.telemetry_dir = Path(telemetry_dir) if telemetry_dir else None
         self.key = config.key()
         self._chunks: Dict[int, Dict[str, object]] = {}
         self._since_checkpoint = 0
+        self._started: Optional[float] = None
 
     # -- resume ------------------------------------------------------------
 
@@ -231,6 +254,10 @@ class FleetCampaign:
                 f"campaign (config or code changed); refusing to resume"
             )
         self._chunks.update(state.chunks)
+        _trace(
+            "fleet:resume_adopted",
+            {"chunks": len(state.chunks), "n_chunks": state.n_chunks},
+        )
         return len(state.chunks)
 
     # -- execution ---------------------------------------------------------
@@ -238,6 +265,8 @@ class FleetCampaign:
     def run(self, jobs: Optional[int] = None) -> CampaignAggregate:
         """Execute all pending chunks and return the merged aggregate."""
         jobs = settings.current().jobs if jobs is None else max(1, jobs)
+        self._started = time.perf_counter()
+        self._sync_telemetry()
         pending = [i for i in range(self.config.n_chunks) if i not in self._chunks]
         self._report_progress()
         if pending:
@@ -263,6 +292,7 @@ class FleetCampaign:
 
     def _run_serial(self, pending: List[int]) -> None:
         for chunk_index in pending:
+            _trace("fleet:chunk_begin", {"chunk": chunk_index})
             self._complete(chunk_index, run_chunk(self.config, chunk_index))
 
     def _run_sharded(self, pending: List[int], jobs: int) -> None:
@@ -273,9 +303,10 @@ class FleetCampaign:
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(pending)), mp_context=mp_context
         ) as pool:
-            futures: Set["Future[Tuple[int, Dict[str, object]]]"] = {
-                pool.submit(_run_chunk_json, config_json, index) for index in pending
-            }
+            futures: Set["Future[Tuple[int, Dict[str, object]]]"] = set()
+            for index in pending:
+                _trace("fleet:chunk_begin", {"chunk": index})
+                futures.add(pool.submit(_run_chunk_json, config_json, index))
             while futures:
                 done, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
@@ -285,6 +316,8 @@ class FleetCampaign:
     def _complete(self, chunk_index: int, payload: Dict[str, object]) -> None:
         self._chunks[chunk_index] = payload
         self._since_checkpoint += 1
+        _trace("fleet:chunk_complete", {"chunk": chunk_index})
+        self._write_snapshot(chunk_index, payload)
         self._report_progress()
         if self._since_checkpoint >= self.config.checkpoint_every:
             self._write_checkpoint()
@@ -303,6 +336,61 @@ class FleetCampaign:
         save_checkpoint(self.checkpoint_path, state)
         self._since_checkpoint = 0
 
+    # -- telemetry ---------------------------------------------------------
+
+    def _elapsed(self) -> Optional[float]:
+        if self._started is None:
+            return None
+        return time.perf_counter() - self._started
+
+    def _write_snapshot(
+        self,
+        chunk_index: int,
+        payload: Dict[str, object],
+        elapsed_s: Optional[float] = -1.0,
+    ) -> None:
+        if self.telemetry_dir is None:
+            return
+        if elapsed_s is not None and elapsed_s < 0:
+            elapsed_s = self._elapsed()
+        snapshot = TelemetrySnapshot.for_chunk(
+            campaign_key=self.key,
+            n_chunks=self.config.n_chunks,
+            chunk_index=chunk_index,
+            aggregate=payload,
+            elapsed_s=elapsed_s,
+        )
+        write_snapshot(self.telemetry_dir, snapshot)
+        _trace(
+            "fleet:snapshot_written",
+            {"chunk": chunk_index, "dir": str(self.telemetry_dir)},
+        )
+
+    def _sync_telemetry(self) -> None:
+        """Reconcile the telemetry directory with this campaign's state.
+
+        Called once at ``run()`` start: snapshots left behind by another
+        campaign (different key) or by chunks this run does not consider
+        complete are stale and would poison a live merge, so they are
+        removed; chunks adopted from a checkpoint are (re-)written so the
+        live view covers them from the first poll (with ``elapsed_s``
+        ``None`` — their original wall-clock cost is unknown).
+        """
+        if self.telemetry_dir is None:
+            return
+        self.telemetry_dir.mkdir(parents=True, exist_ok=True)
+        keep = {snapshot_path(self.telemetry_dir, i).name for i in self._chunks}
+        for path in sorted(self.telemetry_dir.glob("chunk-*.json")):
+            if path.name not in keep:
+                try:
+                    path.unlink()
+                except OSError:
+                    logger.warning("could not remove stale snapshot %s", path)
+        for chunk_index in sorted(self._chunks):
+            self._write_snapshot(
+                chunk_index, self._chunks[chunk_index], elapsed_s=None
+            )
+
     def _report_progress(self) -> None:
         if self.progress is None:
             return
@@ -320,14 +408,21 @@ def run_campaign(
     jobs: Optional[int] = None,
     resume: bool = False,
     progress: Optional[ProgressFn] = None,
+    telemetry_dir: Optional[Path] = None,
 ) -> CampaignAggregate:
     """One-call campaign: optionally resume, execute, return the total.
 
     ``resume=True`` requires a usable checkpoint for *this* campaign at
     ``checkpoint_path``; ``resume=False`` starts fresh, overwriting any
-    checkpoint there.
+    checkpoint there.  ``telemetry_dir`` enables the live snapshot tap
+    (see :mod:`repro.fleet.telemetry`).
     """
-    campaign = FleetCampaign(config, checkpoint_path=checkpoint_path, progress=progress)
+    campaign = FleetCampaign(
+        config,
+        checkpoint_path=checkpoint_path,
+        progress=progress,
+        telemetry_dir=telemetry_dir,
+    )
     if resume:
         adopted = campaign.load_completed(require_checkpoint=True)
         logger.info("resuming campaign: %d/%d chunks already done", adopted, config.n_chunks)

@@ -16,6 +16,7 @@ import json
 from typing import Dict, Optional
 
 from repro.fleet.aggregate import CampaignAggregate, SchemeAggregate
+from repro.obs.profiler import PHASES
 
 #: Report percentiles, mirroring the paper's §VI tail emphasis.
 PERCENTILES = (50, 90, 99)
@@ -57,8 +58,23 @@ def _scheme_summary(agg: SchemeAggregate) -> Dict[str, object]:
         "used_cookie": agg.used_cookie,
         "ffct": _metric_summary(agg, "ffct"),
         "fflr": _metric_summary(agg, "fflr"),
+        "phases": _phase_summary(agg),
     }
     return summary
+
+
+def _phase_summary(agg: SchemeAggregate) -> Optional[Dict[str, object]]:
+    """Mean seconds per FFCT phase (profiler decomposition).
+
+    ``None`` unless sessions ran under an active trace bus — the phase
+    breakdown is computed from trace events (``WIRA_TRACE=1``).
+    """
+    if agg.phase_sessions == 0:
+        return None
+    return {
+        "sessions": agg.phase_sessions,
+        "mean": {name: agg.phase_stats[name].mean for name in PHASES},
+    }
 
 
 def _improvements(

@@ -36,9 +36,15 @@ SCHEMA_VERSION = 1
 #: ``wira:*``       — the paper's mechanisms (parser, cookie, init)
 #: ``session:*``    — client/player milestones (FFCT endpoints)
 #: ``fault:*``      — injected faults and adverse-schedule transitions
+#: ``fleet:*``      — campaign-engine milestones (chunk lifecycle,
+#:                    telemetry snapshots, resume adoption)
 EVENT_NAMES = frozenset(
     {
         "trace:meta",
+        "fleet:chunk_begin",
+        "fleet:chunk_complete",
+        "fleet:snapshot_written",
+        "fleet:resume_adopted",
         "transport:packet_sent",
         "transport:packet_received",
         "transport:packet_acked",

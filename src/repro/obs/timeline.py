@@ -102,6 +102,51 @@ def render_timeline(
     return "\n".join(lines)
 
 
+def render_quantile_strips(
+    by_scheme: Dict[str, Optional[Tuple[float, ...]]],
+    labels: Sequence[str] = ("p50", "p90", "p99"),
+    width: int = 40,
+) -> str:
+    """Per-scheme quantile strips on a shared time scale.
+
+    ``by_scheme`` maps a display name to quantile values in seconds
+    (ascending, one per label; ``None`` rows render as a placeholder)::
+
+        baseline |----5----------9---------------+|  p50 152.0ms  p99 301.2ms
+        wira     |--5------9----------+           |  p50 121.4ms  p99 240.0ms
+
+    Digits mark the p50/p90 positions (their leading digit), ``+`` the
+    tail quantile — a live-dashboard sibling of :func:`render_timeline`.
+    """
+    complete = {k: v for k, v in by_scheme.items() if v}
+    if not complete:
+        return "(no completed sessions yet)"
+    scale_max = max(max(v) for v in complete.values())
+    if scale_max <= 0:
+        return "(all quantiles zero)"
+    label_width = max(len(k) for k in by_scheme)
+    glyphs = [label[1] for label in labels[:-1]] + ["+"]
+    lines: List[str] = []
+    for scheme_name, values in by_scheme.items():
+        if not values:
+            lines.append(f"{scheme_name.ljust(label_width)} (no sessions yet)")
+            continue
+        strip = ["-"] * width
+        for value, glyph in zip(values, glyphs):
+            position = min(width - 1, max(0, round(value / scale_max * (width - 1))))
+            strip[position] = glyph
+        annotation = "  ".join(
+            f"{label} {format_ms(value)}"
+            for label, value in zip((labels[0], labels[-1]), (values[0], values[-1]))
+        )
+        lines.append(
+            f"{scheme_name.ljust(label_width)} |{''.join(strip)}|  {annotation}"
+        )
+    legend = "  ".join(f"{glyph}={label}" for label, glyph in zip(labels, glyphs))
+    lines.append(f"{' ' * label_width} [{legend}]")
+    return "\n".join(lines)
+
+
 def deployment_phase_table(
     records: Dict[object, Sequence[object]],
     title: str = "FFCT phase breakdown (mean per session)",

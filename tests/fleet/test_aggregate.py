@@ -29,6 +29,7 @@ def fake_outcome(rng):
         used_cookie=rng.random() < 0.5,
         ffct=rng.lognormvariate(-2.0, 0.6) if completed else None,
         fflr=rng.random() * 0.1 if completed else None,
+        phase_breakdown=None,  # populated only under WIRA_TRACE=1
     )
     return planned, result
 
@@ -62,7 +63,7 @@ class TestSchemeAggregate:
         )
         result = SimpleNamespace(
             completed=False, cookie_delivered=False, used_cookie=False,
-            ffct=None, fflr=None,
+            ffct=None, fflr=None, phase_breakdown=None,
         )
         agg = SchemeAggregate()
         agg.fold(planned, result)

@@ -1,0 +1,240 @@
+"""Telemetry snapshot algebra: merge invariance and live==final identity.
+
+The tap's whole value rests on one property: merging the per-chunk
+snapshots — in ANY order, at ANY moment — yields canonical JSON
+byte-identical to the final report's aggregates.  These tests pin that
+property on serial, sharded, and kill→resume campaigns, plus the schema
+versioning and defensive-read behavior the live dashboard depends on.
+"""
+
+import itertools
+import json
+
+import pytest
+
+from repro.fleet import (
+    CheckpointState,
+    FleetConfig,
+    TELEMETRY_SCHEMA_VERSION,
+    TelemetrySchemaError,
+    TelemetrySnapshot,
+    canonical_json,
+    default_telemetry_dir,
+    live_status,
+    load_snapshot,
+    merge_snapshots,
+    run_campaign,
+    run_chunk,
+    save_checkpoint,
+    scan_snapshots,
+)
+from repro.fleet.telemetry import derive_counters, snapshot_path, write_snapshot
+from repro.workload import DeploymentConfig
+
+SCHEMES = ("baseline", "wira")
+
+
+def small_config(**kwargs):
+    defaults = dict(
+        population=DeploymentConfig(n_od_pairs=6, seed=3),
+        schemes=SCHEMES,
+        chunk_chains=2,
+        checkpoint_every=1,
+    )
+    defaults.update(kwargs)
+    return FleetConfig(**defaults)
+
+
+def run_with_telemetry(tmp_path, config, jobs=1, name="cp.json"):
+    checkpoint = tmp_path / name
+    telemetry = default_telemetry_dir(checkpoint)
+    aggregate = run_campaign(
+        config, checkpoint_path=checkpoint, jobs=jobs, telemetry_dir=telemetry
+    )
+    return aggregate, checkpoint, telemetry
+
+
+class TestSnapshotAlgebra:
+    def test_every_chunk_writes_one_snapshot(self, tmp_path):
+        config = small_config()
+        _, _, telemetry = run_with_telemetry(tmp_path, config)
+        snapshots = scan_snapshots(telemetry)
+        assert sorted(snapshots) == list(range(config.n_chunks))
+        for index, snapshot in snapshots.items():
+            assert snapshot.campaign_key == config.key()
+            assert snapshot.n_chunks == config.n_chunks
+            assert snapshot.chunk_index == index
+
+    def test_merge_is_order_invariant_bytewise(self, tmp_path):
+        config = small_config()
+        _, _, telemetry = run_with_telemetry(tmp_path, config)
+        snapshots = scan_snapshots(telemetry)
+        orderings = list(itertools.permutations(snapshots.values()))
+        encodings = {
+            canonical_json(merge_snapshots(ordering).to_json())
+            for ordering in orderings
+        }
+        assert len(encodings) == 1
+
+    def test_merge_is_associative(self, tmp_path):
+        config = small_config()
+        _, _, telemetry = run_with_telemetry(tmp_path, config)
+        s = [scan_snapshots(telemetry)[i] for i in range(3)]
+        left = merge_snapshots([s[0], s[1]])
+        left.merge(merge_snapshots([s[2]]))
+        right = merge_snapshots([s[0]])
+        right.merge(merge_snapshots([s[1], s[2]]))
+        assert canonical_json(left.to_json()) == canonical_json(right.to_json())
+
+    def test_live_merge_equals_final_serial(self, tmp_path):
+        config = small_config()
+        aggregate, _, telemetry = run_with_telemetry(tmp_path, config)
+        merged = merge_snapshots(scan_snapshots(telemetry).values())
+        assert canonical_json(merged.to_json()) == canonical_json(aggregate.to_json())
+
+    def test_live_merge_equals_final_sharded(self, tmp_path):
+        config = small_config()
+        aggregate, _, telemetry = run_with_telemetry(tmp_path, config, jobs=2)
+        merged = merge_snapshots(scan_snapshots(telemetry).values())
+        assert canonical_json(merged.to_json()) == canonical_json(aggregate.to_json())
+
+    def test_live_merge_equals_final_after_kill_and_resume(self, tmp_path):
+        """Crash after chunk 0, resume with telemetry: the snapshot set
+        covers adopted AND fresh chunks, and still merges byte-identical
+        to the uninterrupted campaign."""
+        config = small_config()
+        uninterrupted = run_campaign(config, jobs=1)
+        checkpoint = tmp_path / "cp.json"
+        partial = CheckpointState(
+            key=config.key(),
+            config=config.to_json(),
+            n_chunks=config.n_chunks,
+            chunks={0: run_chunk(config, 0)},
+        )
+        save_checkpoint(checkpoint, partial)
+        telemetry = default_telemetry_dir(checkpoint)
+        resumed = run_campaign(
+            config,
+            checkpoint_path=checkpoint,
+            jobs=1,
+            resume=True,
+            telemetry_dir=telemetry,
+        )
+        snapshots = scan_snapshots(telemetry)
+        assert sorted(snapshots) == list(range(config.n_chunks))
+        # The adopted chunk's wall-clock cost is unknown; fresh chunks
+        # carry real elapsed timings.
+        assert snapshots[0].timing["elapsed_s"] is None
+        merged = merge_snapshots(snapshots.values())
+        assert canonical_json(merged.to_json()) == canonical_json(resumed.to_json())
+        assert canonical_json(merged.to_json()) == canonical_json(
+            uninterrupted.to_json()
+        )
+
+    def test_stale_foreign_snapshots_are_cleared_on_run(self, tmp_path):
+        config = small_config()
+        checkpoint = tmp_path / "cp.json"
+        telemetry = default_telemetry_dir(checkpoint)
+        telemetry.mkdir(parents=True)
+        stale = snapshot_path(telemetry, 7)
+        stale.write_text(json.dumps({"schema_version": TELEMETRY_SCHEMA_VERSION}))
+        aggregate = run_campaign(
+            config, checkpoint_path=checkpoint, jobs=1, telemetry_dir=telemetry
+        )
+        assert not stale.exists()
+        merged = merge_snapshots(scan_snapshots(telemetry).values())
+        assert canonical_json(merged.to_json()) == canonical_json(aggregate.to_json())
+
+    def test_merge_rejects_cross_campaign_and_duplicates(self, tmp_path):
+        config = small_config()
+        _, _, telemetry = run_with_telemetry(tmp_path, config)
+        snapshots = scan_snapshots(telemetry)
+        foreign = TelemetrySnapshot.for_chunk(
+            "f" * 40, snapshots[0].n_chunks, 1, snapshots[0].aggregate
+        )
+        with pytest.raises(ValueError, match="belongs to campaign"):
+            merge_snapshots([snapshots[0], foreign])
+        with pytest.raises(ValueError, match="duplicate"):
+            merge_snapshots([snapshots[0], snapshots[0]])
+        with pytest.raises(ValueError, match="empty"):
+            merge_snapshots([])
+
+
+class TestSchemaAndDefensiveReads:
+    def test_schema_version_skew_is_rejected_not_guessed(self, tmp_path):
+        config = small_config()
+        _, _, telemetry = run_with_telemetry(tmp_path, config)
+        path = snapshot_path(telemetry, 0)
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = TELEMETRY_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(TelemetrySchemaError):
+            load_snapshot(path)
+        with pytest.raises(TelemetrySchemaError):
+            scan_snapshots(telemetry)
+
+    def test_corrupt_snapshot_reads_as_none_after_retries(self, tmp_path):
+        path = tmp_path / "chunk-000000.json"
+        path.write_text('{"schema_version": 1, "campaign')  # torn write
+        assert load_snapshot(path, retries=2, delay_s=0) is None
+
+    def test_scan_skips_unreadable_files(self, tmp_path):
+        config = small_config()
+        _, _, telemetry = run_with_telemetry(tmp_path, config)
+        snapshot_path(telemetry, 1).write_text("not json at all")
+        snapshots = scan_snapshots(telemetry, retries=1)
+        assert sorted(snapshots) == [0, 2]
+
+    def test_missing_directory_scans_empty(self, tmp_path):
+        assert scan_snapshots(tmp_path / "nope") == {}
+
+    def test_round_trip_preserves_payload(self, tmp_path):
+        config = small_config()
+        payload = run_chunk(config, 0)
+        snapshot = TelemetrySnapshot.for_chunk(
+            config.key(), config.n_chunks, 0, payload, elapsed_s=1.25
+        )
+        path = write_snapshot(tmp_path, snapshot)
+        revived = load_snapshot(path)
+        assert revived is not None
+        assert canonical_json(revived.to_json()) == canonical_json(snapshot.to_json())
+
+    def test_default_dir_derives_from_checkpoint(self, tmp_path):
+        assert default_telemetry_dir(tmp_path / "c.json") == tmp_path / "c.json.telemetry"
+
+
+class TestCountersAndLiveView:
+    def test_counters_derived_from_aggregate(self):
+        config = small_config()
+        payload = run_chunk(config, 0)
+        counters = derive_counters(payload)
+        for scheme in SCHEMES:
+            entry = counters["schemes"][scheme]
+            assert entry["faults"] == entry["sessions"] - entry["completed"]
+        assert counters["total"]["sessions"] == sum(
+            counters["schemes"][s]["sessions"] for s in SCHEMES
+        )
+
+    def test_live_status_tracks_progress_and_quantiles(self, tmp_path):
+        config = small_config()
+        aggregate, _, telemetry = run_with_telemetry(tmp_path, config)
+        snapshots = scan_snapshots(telemetry)
+        partial = {i: snapshots[i] for i in (0, 1)}
+        status = live_status(partial)
+        assert status.chunks_done == 2
+        assert status.n_chunks == config.n_chunks
+        assert not status.complete
+        assert 0 < status.completion_fraction < 1
+        assert status.eta_seconds is not None and status.eta_seconds >= 0
+        assert status.sessions_per_second is not None
+        full = live_status(snapshots)
+        assert full.complete
+        assert full.sessions == aggregate.total_sessions
+        quantiles = full.quantiles_seconds()
+        for scheme in SCHEMES:
+            p50, p90, p99 = quantiles[scheme]
+            assert 0 < p50 <= p90 <= p99
+
+    def test_live_status_requires_snapshots(self):
+        with pytest.raises(ValueError):
+            live_status({})

@@ -1,4 +1,5 @@
-"""Tests for the ``tools/wira_fleet`` CLI: run / resume / status / report.
+"""Tests for the ``tools/wira_fleet`` CLI: run / resume / status / verify /
+report.
 
 Campaigns are tiny but real — every test replays actual sessions — and
 the determinism assertions compare the same report hash the CI smoke
@@ -6,10 +7,20 @@ job checks.
 """
 
 import json
+import threading
+import time
 
 import pytest
 
-from repro.fleet import CheckpointState, FleetConfig, run_chunk, save_checkpoint
+from repro.fleet import (
+    TELEMETRY_SCHEMA_VERSION,
+    CheckpointState,
+    FleetConfig,
+    run_chunk,
+    save_checkpoint,
+    scan_snapshots,
+)
+from repro.fleet.telemetry import snapshot_path
 from repro.workload import DeploymentConfig
 from tools.wira_fleet.cli import EXIT_FAILED, EXIT_OK, main
 
@@ -139,3 +150,136 @@ class TestStatusAndReport:
             ["report", "--checkpoint", str(checkpoint), "--out", str(report_out)]
         ) == EXIT_OK
         assert run_out.read_bytes() == report_out.read_bytes()
+
+
+class TestTelemetry:
+    def completed_campaign(self, tmp_path):
+        checkpoint = tmp_path / "cp.json"
+        out = tmp_path / "report.json"
+        code = main(
+            ["run", *SMALL, "--quiet", "--telemetry",
+             "--checkpoint", str(checkpoint), "--out", str(out)]
+        )
+        assert code == EXIT_OK
+        return checkpoint, checkpoint.parent / (checkpoint.name + ".telemetry")
+
+    def test_run_with_telemetry_writes_snapshots(self, tmp_path):
+        _, telemetry = self.completed_campaign(tmp_path)
+        snapshots = scan_snapshots(telemetry)
+        assert sorted(snapshots) == [0, 1]
+
+    def test_telemetry_without_checkpoint_needs_explicit_dir(self, tmp_path, capsys):
+        code = main(["run", *SMALL, "--quiet", "--telemetry"])
+        assert code != EXIT_OK
+        assert "--telemetry" in capsys.readouterr().err
+        explicit = tmp_path / "tap"
+        assert main(
+            ["run", *SMALL, "--quiet", "--telemetry", str(explicit)]
+        ) == EXIT_OK
+        assert sorted(scan_snapshots(explicit)) == [0, 1]
+
+    def test_verify_passes_on_consistent_campaign(self, tmp_path, capsys):
+        checkpoint, _ = self.completed_campaign(tmp_path)
+        assert main(["verify", "--checkpoint", str(checkpoint)]) == EXIT_OK
+        assert "byte-identical" in capsys.readouterr().out
+
+    def test_verify_fails_on_missing_snapshot(self, tmp_path, capsys):
+        checkpoint, telemetry = self.completed_campaign(tmp_path)
+        snapshot_path(telemetry, 0).unlink()
+        assert main(["verify", "--checkpoint", str(checkpoint)]) == EXIT_FAILED
+        assert "missing snapshots" in capsys.readouterr().err
+
+    def test_verify_fails_on_schema_skew(self, tmp_path, capsys):
+        checkpoint, telemetry = self.completed_campaign(tmp_path)
+        path = snapshot_path(telemetry, 0)
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = TELEMETRY_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert main(["verify", "--checkpoint", str(checkpoint)]) == EXIT_FAILED
+        assert "schema_version" in capsys.readouterr().err
+
+    def test_live_status_renders_dashboard(self, tmp_path, capsys):
+        checkpoint, _ = self.completed_campaign(tmp_path)
+        code = main(
+            ["status", "--checkpoint", str(checkpoint),
+             "--live", "--polls", "1", "--interval", "0"]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "chunks 2/2" in out
+        assert "p50" in out
+        assert "baseline" in out and "wira" in out
+
+    def test_live_status_waits_when_no_snapshots(self, tmp_path, capsys):
+        config = small_config()
+        checkpoint = tmp_path / "cp.json"
+        save_checkpoint(
+            checkpoint,
+            CheckpointState(
+                key=config.key(),
+                config=config.to_json(),
+                n_chunks=config.n_chunks,
+                chunks={},
+            ),
+        )
+        code = main(
+            ["status", "--checkpoint", str(checkpoint),
+             "--live", "--polls", "2", "--interval", "0"]
+        )
+        assert code == EXIT_OK
+        assert "no telemetry snapshots yet" in capsys.readouterr().out
+
+    def test_report_html_artifact(self, tmp_path):
+        checkpoint, _ = self.completed_campaign(tmp_path)
+        html_out = tmp_path / "report.html"
+        code = main(
+            ["report", "--checkpoint", str(checkpoint),
+             "--html", str(html_out), "--out", str(tmp_path / "r.json")]
+        )
+        assert code == EXIT_OK
+        document = html_out.read_text()
+        assert document.startswith("<!DOCTYPE html>")
+        assert "Live telemetry" in document  # snapshots feed the section
+        assert "polyline" in document
+
+
+class TestWriterRace:
+    def test_status_survives_concurrent_writer(self, tmp_path, capsys):
+        """``status`` must retry — never exit 2 or crash — while a
+        campaign (simulated by a non-atomic torn-then-valid writer) is
+        rewriting the checkpoint under it."""
+        config = small_config()
+        checkpoint = tmp_path / "cp.json"
+        state = CheckpointState(
+            key=config.key(),
+            config=config.to_json(),
+            n_chunks=config.n_chunks,
+            chunks={0: run_chunk(config, 0)},
+        )
+        valid = json.dumps(state.to_json(), sort_keys=True)
+        checkpoint.write_text(valid[: len(valid) // 2])  # start torn
+
+        stop = threading.Event()
+
+        def writer():
+            # Keep tearing and healing the file the way a hostile
+            # (non-atomic) writer would, ending on a valid state.
+            while not stop.is_set():
+                checkpoint.write_text(valid[: len(valid) // 2])
+                time.sleep(0.005)
+                checkpoint.write_text(valid)
+                time.sleep(0.005)
+            checkpoint.write_text(valid)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            code = main(["status", "--checkpoint", str(checkpoint)])
+        finally:
+            stop.set()
+            thread.join()
+        # The retry loop must eventually read a complete state and
+        # report it — exit 2 (usage/IO crash) is the regression.
+        assert code in (EXIT_OK, EXIT_FAILED)
+        assert code == EXIT_OK
+        assert "chunks:    1/2" in capsys.readouterr().out

@@ -89,7 +89,11 @@ class TestRecord:
     def test_record_without_metrics_errors(self, tmp_path):
         bench = write_bench(tmp_path / "bench.json", {"unrelated": {}})
         code = main(
-            ["record", "--bench", bench, "--trajectory", str(tmp_path / "t.json"), "--label", "x"]
+            # Pin --fleet-bench to an absent file: a BENCH_fleet.json at
+            # the repo root (the default) would otherwise supply metrics.
+            ["record", "--bench", bench,
+             "--fleet-bench", str(tmp_path / "absent.json"),
+             "--trajectory", str(tmp_path / "t.json"), "--label", "x"]
         )
         assert code == EXIT_ERROR
 
@@ -191,6 +195,106 @@ class TestCheck:
         )
         bench = write_bench(tmp_path / "now.json")
         assert main(["check", "--bench", bench, "--trajectory", str(trajectory)]) == EXIT_OK
+
+
+FLEET_BENCH = {
+    "campaign": {
+        "od_pairs": 24,
+        "sessions": 180,
+        "serial_sessions_per_sec": 50.0,
+        "sharded_sessions_per_sec": 90.0,
+    },
+    "checkpoint_overhead": {"overhead_frac": 0.01},
+}
+
+
+class TestFleetMetrics:
+    def _recorded(self, tmp_path, fleet_payload=FLEET_BENCH):
+        bench = write_bench(tmp_path / "bench.json")
+        fleet = write_bench(tmp_path / "fleet.json", fleet_payload)
+        trajectory = tmp_path / "traj.json"
+        main(
+            ["record", "--bench", bench, "--fleet-bench", fleet,
+             "--trajectory", str(trajectory), "--label", "base"]
+        )
+        return bench, trajectory
+
+    def test_fleet_metrics_extracted_from_fleet_source(self):
+        metrics = extract_metrics(FLEET_BENCH, source="fleet")
+        assert metrics == {
+            "fleet_sessions_per_second": 50.0,
+            "fleet_checkpoint_overhead_frac": 0.01,
+        }
+        # The fleet file never contributes speed metrics and vice versa.
+        assert extract_metrics(FLEET_BENCH, source="speed") == {}
+        assert extract_metrics(BENCH, source="fleet") == {}
+
+    def test_record_folds_fleet_metrics_into_snapshot(self, tmp_path):
+        _, trajectory = self._recorded(tmp_path)
+        snapshot = json.loads(trajectory.read_text())[0]
+        assert snapshot["metrics"]["fleet_sessions_per_second"] == 50.0
+        assert snapshot["metrics"]["fleet_checkpoint_overhead_frac"] == 0.01
+
+    def test_missing_fleet_bench_is_skipped_silently(self, tmp_path):
+        bench = write_bench(tmp_path / "bench.json")
+        trajectory = tmp_path / "traj.json"
+        code = main(
+            ["record", "--bench", bench,
+             "--fleet-bench", str(tmp_path / "absent.json"),
+             "--trajectory", str(trajectory), "--label", "x"]
+        )
+        assert code == EXIT_OK
+        snapshot = json.loads(trajectory.read_text())[0]
+        assert "fleet_sessions_per_second" not in snapshot["metrics"]
+
+    def test_fleet_throughput_regression_fails(self, tmp_path):
+        bench, trajectory = self._recorded(tmp_path)
+        slower = json.loads(json.dumps(FLEET_BENCH))
+        slower["campaign"]["serial_sessions_per_sec"] = 30.0
+        fleet = write_bench(tmp_path / "now-fleet.json", slower)
+        code = main(
+            ["check", "--bench", bench, "--fleet-bench", fleet,
+             "--trajectory", str(trajectory)]
+        )
+        assert code == EXIT_REGRESSION
+
+    def test_overhead_growth_fails_lower_is_better(self, tmp_path):
+        base = json.loads(json.dumps(FLEET_BENCH))
+        base["checkpoint_overhead"]["overhead_frac"] = 0.05
+        bench, trajectory = self._recorded(tmp_path, base)
+        worse = json.loads(json.dumps(FLEET_BENCH))
+        worse["checkpoint_overhead"]["overhead_frac"] = 0.12
+        fleet = write_bench(tmp_path / "now-fleet.json", worse)
+        code = main(
+            ["check", "--bench", bench, "--fleet-bench", fleet,
+             "--trajectory", str(trajectory)]
+        )
+        assert code == EXIT_REGRESSION
+
+    def test_overhead_noise_floor_tolerated(self, tmp_path):
+        """Near-zero baselines get the absolute floor: 0.1% → 1.5% is
+        timer noise at smoke scale, not a regression."""
+        base = json.loads(json.dumps(FLEET_BENCH))
+        base["checkpoint_overhead"]["overhead_frac"] = 0.001
+        bench, trajectory = self._recorded(tmp_path, base)
+        noisy = json.loads(json.dumps(FLEET_BENCH))
+        noisy["checkpoint_overhead"]["overhead_frac"] = 0.015
+        fleet = write_bench(tmp_path / "now-fleet.json", noisy)
+        code = main(
+            ["check", "--bench", bench, "--fleet-bench", fleet,
+             "--trajectory", str(trajectory)]
+        )
+        assert code == EXIT_OK
+
+    def test_check_without_fleet_bench_still_gates_speed(self, tmp_path):
+        _, trajectory = self._recorded(tmp_path)
+        bench = write_bench(tmp_path / "now.json", scaled(0.5))
+        code = main(
+            ["check", "--bench", bench,
+             "--fleet-bench", str(tmp_path / "absent.json"),
+             "--trajectory", str(trajectory)]
+        )
+        assert code == EXIT_REGRESSION
 
 
 class TestRepoArtifact:

@@ -4,18 +4,32 @@ Commands
 --------
 ``run``
     Start a fresh campaign (overwriting any checkpoint at the path).
+    ``--telemetry`` turns on the live snapshot tap.
 ``resume``
     Continue an interrupted campaign from its checkpoint.
 ``status``
-    Inspect a checkpoint: chunks done, sessions folded so far.
+    Inspect a checkpoint: chunks done, sessions folded so far.  With
+    ``--live``, poll the telemetry directory and render an in-terminal
+    dashboard (per-scheme FFCT p50/p90/p99 strips, completion, faults,
+    sessions/sec, ETA) that tracks the campaign as it runs.
+``verify``
+    Cross-check the telemetry snapshots against the checkpoint: schema
+    versions, campaign key, chunk coverage, and that the live-merged
+    aggregates are byte-identical to the checkpoint-merged ones.
 ``report``
     Build the deterministic JSON report from a checkpoint — complete
     campaigns only, unless ``--partial`` asks for a best-effort summary
-    of the completed chunks.
+    of the completed chunks.  ``--html`` additionally writes a
+    self-contained HTML artifact (CDF chart, phase tables).
+
+Reads are safe against a concurrently running campaign: checkpoint and
+snapshot files are written atomically, and the inspection commands retry
+transient read failures instead of dying on a writer race.
 
 Exit codes: 0 success, 1 campaign/validation errors (mismatched or
-missing checkpoint, incomplete campaign without ``--partial``),
-2 usage/IO errors (argparse errors, unreadable paths).
+missing checkpoint, incomplete campaign without ``--partial``, failed
+verification, telemetry schema skew), 2 usage/IO errors (argparse
+errors, unreadable paths).
 
 The tool is stdlib-only: it imports the in-repo ``repro`` packages
 (adding ``<repo>/src`` to ``sys.path`` when not already importable) and
@@ -27,8 +41,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 EXIT_OK = 0
 EXIT_FAILED = 1
@@ -46,15 +61,26 @@ def _ensure_repro_importable() -> None:
 
 _ensure_repro_importable()
 
-from repro.fleet.aggregate import merge_chunks  # noqa: E402
-from repro.fleet.checkpoint import load_checkpoint  # noqa: E402
+from repro.fleet.aggregate import CampaignAggregate, merge_chunks  # noqa: E402
+from repro.fleet.checkpoint import CheckpointState, load_checkpoint  # noqa: E402
 from repro.fleet.engine import (  # noqa: E402
     DEFAULT_SCHEMES,
     CampaignMismatchError,
     FleetConfig,
+    ProgressFn,
     run_campaign,
 )
+from repro.fleet.htmlreport import render_html_report  # noqa: E402
 from repro.fleet.report import build_report, canonical_json, report_hash  # noqa: E402
+from repro.fleet.telemetry import (  # noqa: E402
+    LiveStatus,
+    TelemetrySchemaError,
+    default_telemetry_dir,
+    live_status,
+    merge_snapshots,
+    scan_snapshots,
+)
+from repro.obs.timeline import render_quantile_strips  # noqa: E402
 from repro.workload.population import DeploymentConfig  # noqa: E402
 
 
@@ -62,7 +88,7 @@ from repro.workload.population import DeploymentConfig  # noqa: E402
 # Helpers
 
 
-def _progress_printer(quiet: bool):
+def _progress_printer(quiet: bool) -> Optional[ProgressFn]:
     if quiet:
         return None
 
@@ -85,7 +111,54 @@ def _config_from_args(args: argparse.Namespace) -> FleetConfig:
     )
 
 
-def _emit_report(report: dict, out: Optional[str]) -> None:
+def _telemetry_dir_from_args(
+    args: argparse.Namespace, checkpoint: Optional[Path]
+) -> Optional[Path]:
+    """Resolve ``--telemetry [DIR]`` to a concrete directory, if enabled."""
+    raw: Optional[str] = getattr(args, "telemetry", None)
+    if raw is None:
+        return None
+    if raw != "":
+        return Path(raw)
+    if checkpoint is None:
+        raise ValueError(
+            "--telemetry without a directory derives it from the checkpoint "
+            "path; pass --checkpoint or an explicit --telemetry DIR"
+        )
+    return default_telemetry_dir(checkpoint)
+
+
+def _load_checkpoint_retry(
+    path: Path, attempts: int = 8, delay_s: float = 0.05
+) -> Optional[CheckpointState]:
+    """Load a checkpoint that may be racing its writer.
+
+    Checkpoint writes are atomic, but a reader can still catch transient
+    states (the file momentarily absent on non-atomic filesystems, a
+    partial copy, an editor's leftovers).  Inspection commands therefore
+    retry a failed parse a few times before concluding "no usable
+    checkpoint" — they must never crash or lie because a campaign is
+    running right now.
+    """
+    state: Optional[CheckpointState] = None
+    for attempt in range(max(1, attempts)):
+        state = load_checkpoint(path)
+        if state is not None:
+            return state
+        if attempt + 1 < max(1, attempts):
+            time.sleep(delay_s)
+    return None
+
+
+def _checkpoint_sessions(state: CheckpointState) -> int:
+    return sum(
+        int(scheme_payload["sessions"])  # type: ignore[call-overload,index]
+        for payload in state.chunks.values()
+        for scheme_payload in payload["schemes"].values()  # type: ignore[union-attr,index]
+    )
+
+
+def _emit_report(report: Dict[str, object], out: Optional[str]) -> None:
     text = json.dumps(report, indent=2, sort_keys=True)
     if out:
         Path(out).write_text(text + "\n", encoding="utf-8")
@@ -95,7 +168,9 @@ def _emit_report(report: dict, out: Optional[str]) -> None:
     print(f"report hash: {report_hash(report)}")
 
 
-def _finish(config: FleetConfig, aggregate, args: argparse.Namespace) -> int:
+def _finish(
+    config: FleetConfig, aggregate: CampaignAggregate, args: argparse.Namespace
+) -> int:
     report = build_report(aggregate, config.key())
     _emit_report(report, args.out)
     return EXIT_OK
@@ -114,13 +189,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         resume=False,
         progress=_progress_printer(args.quiet),
+        telemetry_dir=_telemetry_dir_from_args(args, checkpoint),
     )
     return _finish(config, aggregate, args)
 
 
 def cmd_resume(args: argparse.Namespace) -> int:
     checkpoint = Path(args.checkpoint)
-    state = load_checkpoint(checkpoint)
+    state = _load_checkpoint_retry(checkpoint)
     if state is None:
         print(f"error: no usable checkpoint at {checkpoint}", file=sys.stderr)
         return EXIT_FAILED
@@ -132,6 +208,7 @@ def cmd_resume(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             resume=True,
             progress=_progress_printer(args.quiet),
+            telemetry_dir=_telemetry_dir_from_args(args, checkpoint),
         )
     except CampaignMismatchError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -139,31 +216,161 @@ def cmd_resume(args: argparse.Namespace) -> int:
     return _finish(config, aggregate, args)
 
 
+def _print_status_summary(state: CheckpointState) -> None:
+    config = FleetConfig.from_json(state.config)
+    done = len(state.chunks)
+    print(f"campaign:  {state.key}")
+    print(
+        f"chains:    {config.population.n_od_pairs} OD pairs, "
+        f"seed {config.population.seed}"
+    )
+    print(f"schemes:   {', '.join(config.schemes)}")
+    print(f"chunks:    {done}/{state.n_chunks} completed")
+    print(f"sessions:  {_checkpoint_sessions(state)} folded")
+    print(f"state:     {'complete' if state.complete else 'resumable'}")
+
+
+def _render_live(status: LiveStatus, rolling_rate: Optional[float]) -> str:
+    """One dashboard frame: header, quantile strips, per-scheme counters."""
+    lines: List[str] = []
+    pct = status.completion_fraction * 100
+    lines.append(
+        f"campaign {status.campaign_key[:12]}…  "
+        f"chunks {status.chunks_done}/{status.n_chunks} ({pct:.0f}%)  "
+        f"sessions {status.sessions}  faults {status.faults}"
+    )
+    rate = rolling_rate if rolling_rate is not None else status.sessions_per_second
+    rate_text = f"{rate:.1f}/s" if rate is not None else "–"
+    eta = status.eta_seconds
+    eta_text = f"{eta:.0f}s" if eta is not None else "–"
+    lines.append(f"rate     {rate_text}  eta {eta_text}")
+    lines.append("")
+    lines.append(render_quantile_strips(status.quantiles_seconds()))
+    lines.append("")
+    header = f"{'scheme':<12} {'sessions':>9} {'completed':>10} {'faults':>7}"
+    lines.append(header)
+    for value in sorted(status.per_scheme):
+        entry = status.per_scheme[value]
+        lines.append(
+            f"{value:<12} {entry['sessions']:>9} "
+            f"{entry['completed']:>10} {entry['faults']:>7}"
+        )
+    return "\n".join(lines)
+
+
 def cmd_status(args: argparse.Namespace) -> int:
     checkpoint = Path(args.checkpoint)
-    state = load_checkpoint(checkpoint)
+    if not args.live:
+        state = _load_checkpoint_retry(checkpoint)
+        if state is None:
+            print(f"error: no usable checkpoint at {checkpoint}", file=sys.stderr)
+            return EXIT_FAILED
+        _print_status_summary(state)
+        return EXIT_OK
+
+    telemetry_dir = (
+        Path(args.telemetry)
+        if args.telemetry
+        else default_telemetry_dir(checkpoint)
+    )
+    polls_left: Optional[int] = args.polls
+    previous: Optional[LiveStatus] = None
+    previous_at: Optional[float] = None
+    interactive = sys.stdout.isatty()
+    while True:
+        try:
+            snapshots = scan_snapshots(telemetry_dir)
+        except TelemetrySchemaError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_FAILED
+        now = time.monotonic()
+        if snapshots:
+            status = live_status(snapshots)
+            rolling: Optional[float] = None
+            if previous is not None and previous_at is not None and now > previous_at:
+                delta = status.sessions - previous.sessions
+                if delta >= 0:
+                    rolling = delta / (now - previous_at)
+            if interactive:
+                print("\x1b[2J\x1b[H", end="")
+            print(_render_live(status, rolling))
+            if status.complete:
+                return EXIT_OK
+            previous, previous_at = status, now
+        else:
+            # A failed or empty poll keeps the loop alive — the campaign
+            # may simply not have completed a chunk yet, or the writer
+            # won a race we will lose again next poll.
+            print(f"(no telemetry snapshots yet in {telemetry_dir})")
+        if polls_left is not None:
+            polls_left -= 1
+            if polls_left <= 0:
+                return EXIT_OK
+        time.sleep(args.interval)
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    checkpoint = Path(args.checkpoint)
+    state = _load_checkpoint_retry(checkpoint)
     if state is None:
         print(f"error: no usable checkpoint at {checkpoint}", file=sys.stderr)
         return EXIT_FAILED
-    config = FleetConfig.from_json(state.config)
-    sessions = sum(
-        int(scheme_payload["sessions"])
-        for payload in state.chunks.values()
-        for scheme_payload in payload["schemes"].values()
+    telemetry_dir = (
+        Path(args.telemetry)
+        if args.telemetry
+        else default_telemetry_dir(checkpoint)
     )
-    done = len(state.chunks)
-    print(f"campaign:  {state.key}")
-    print(f"chains:    {config.population.n_od_pairs} OD pairs, seed {config.population.seed}")
-    print(f"schemes:   {', '.join(config.schemes)}")
-    print(f"chunks:    {done}/{state.n_chunks} completed")
-    print(f"sessions:  {sessions} folded")
-    print(f"state:     {'complete' if state.complete else 'resumable'}")
+    try:
+        snapshots = scan_snapshots(telemetry_dir)
+    except TelemetrySchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    failures: List[str] = []
+    if not snapshots:
+        failures.append(f"no telemetry snapshots in {telemetry_dir}")
+    foreign = sorted(
+        i for i, s in snapshots.items() if s.campaign_key != state.key
+    )
+    if foreign:
+        failures.append(
+            f"snapshots for chunks {foreign} belong to a different campaign"
+        )
+    expected = set(state.chunks)
+    have = {i for i, s in snapshots.items() if s.campaign_key == state.key}
+    missing = sorted(expected - have)
+    extra = sorted(have - expected)
+    if missing:
+        failures.append(f"checkpointed chunks missing snapshots: {missing}")
+    if extra:
+        failures.append(f"snapshots for chunks not in the checkpoint: {extra}")
+    if not failures:
+        config = FleetConfig.from_json(state.config)
+        ordered = [state.chunks[i] for i in sorted(state.chunks)]
+        final = merge_chunks(config.schemes, config.sketch_alpha, ordered)
+        live = merge_snapshots(snapshots.values())
+        final_json = canonical_json(final.to_json())
+        live_json = canonical_json(live.to_json())
+        if final_json != live_json:
+            failures.append(
+                "live-merged snapshot aggregates differ from "
+                "checkpoint-merged aggregates"
+            )
+        else:
+            print(
+                f"ok: {len(snapshots)} snapshots cover "
+                f"{len(expected)}/{state.n_chunks} checkpointed chunks; "
+                f"live merge is byte-identical to the checkpoint merge"
+            )
+    if failures:
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        return EXIT_FAILED
     return EXIT_OK
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     checkpoint = Path(args.checkpoint)
-    state = load_checkpoint(checkpoint)
+    state = _load_checkpoint_retry(checkpoint)
     if state is None:
         print(f"error: no usable checkpoint at {checkpoint}", file=sys.stderr)
         return EXIT_FAILED
@@ -184,6 +391,30 @@ def cmd_report(args: argparse.Namespace) -> int:
             "chunks_completed": len(state.chunks),
             "chunks_total": state.n_chunks,
         }
+    if args.html:
+        telemetry_payload: Optional[Dict[str, object]] = None
+        telemetry_dir = (
+            Path(args.telemetry)
+            if args.telemetry
+            else default_telemetry_dir(checkpoint)
+        )
+        try:
+            snapshots = scan_snapshots(telemetry_dir)
+        except TelemetrySchemaError:
+            snapshots = {}
+        if snapshots:
+            status = live_status(snapshots)
+            telemetry_payload = {
+                "chunks_done": status.chunks_done,
+                "sessions": status.sessions,
+                "elapsed_seconds": status.elapsed_seconds,
+                "sessions_per_second": status.sessions_per_second,
+            }
+        document = render_html_report(
+            report, aggregate, config=state.config, telemetry=telemetry_payload
+        )
+        Path(args.html).write_text(document, encoding="utf-8")
+        print(f"html report written to {args.html}")
     _emit_report(report, args.out)
     return EXIT_OK
 
@@ -199,6 +430,14 @@ def _add_report_out(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", metavar="DIR", nargs="?", const="", default=None,
+        help="write live telemetry snapshots (default dir: "
+             "<checkpoint>.telemetry when DIR is omitted)",
+    )
+
+
 def _add_exec_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -207,6 +446,7 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
     )
+    _add_telemetry_arg(parser)
     _add_report_out(parser)
 
 
@@ -241,12 +481,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     status = sub.add_parser("status", help="inspect a checkpoint")
     status.add_argument("--checkpoint", metavar="PATH", required=True)
+    status.add_argument("--live", action="store_true",
+                        help="poll the telemetry directory and render a "
+                             "live dashboard until the campaign completes")
+    status.add_argument("--telemetry", metavar="DIR", default=None,
+                        help="telemetry directory "
+                             "(default: <checkpoint>.telemetry)")
+    status.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                        help="seconds between live polls (default 2)")
+    status.add_argument("--polls", type=int, default=None, metavar="N",
+                        help="stop after N live polls (default: until complete)")
     status.set_defaults(func=cmd_status)
+
+    verify = sub.add_parser(
+        "verify", help="cross-check telemetry snapshots against a checkpoint"
+    )
+    verify.add_argument("--checkpoint", metavar="PATH", required=True)
+    verify.add_argument("--telemetry", metavar="DIR", default=None,
+                        help="telemetry directory "
+                             "(default: <checkpoint>.telemetry)")
+    verify.set_defaults(func=cmd_verify)
 
     report = sub.add_parser("report", help="build the report from a checkpoint")
     report.add_argument("--checkpoint", metavar="PATH", required=True)
     report.add_argument("--partial", action="store_true",
                         help="allow a best-effort report of an incomplete campaign")
+    report.add_argument("--html", metavar="PATH", default=None,
+                        help="also write a self-contained HTML report here")
+    report.add_argument("--telemetry", metavar="DIR", default=None,
+                        help="telemetry directory for the HTML throughput "
+                             "section (default: <checkpoint>.telemetry)")
     _add_report_out(report)
     report.set_defaults(func=cmd_report)
 
@@ -256,7 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return args.func(args)
+        return args.func(args)  # type: ignore[no-any-return]
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR

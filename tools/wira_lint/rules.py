@@ -24,7 +24,7 @@ from typing import Optional, Tuple
 
 #: Bump when rule semantics change in a way that must invalidate cached
 #: per-file facts (the fact cache keys on this).
-RULES_FINGERPRINT = "wira-lint-rules-v7"
+RULES_FINGERPRINT = "wira-lint-rules-v8"
 
 #: Simulation zone: code that must be bit-exact deterministic.  These are
 #: the packages replayed under the content-hash disk cache; one wall-clock
@@ -57,6 +57,7 @@ TYPED_ZONE: Tuple[str, ...] = (
     "src/repro/fleet",
     "src/repro/runtime",
     "src/repro/cdn/batchrun",
+    "tools/wira_fleet",
 )
 
 #: Whole-package zone for the style/structure rules.
@@ -311,6 +312,11 @@ SLOTS_REGISTRY = frozenset(
         "SchemeAggregate",
         "SketchCdf",
         "StatAccumulator",
+        # Live-telemetry views: one per snapshot/poll, but campaigns at
+        # fleet scale write thousands of snapshots and the live
+        # dashboard re-merges them every poll.
+        "LiveStatus",
+        "TelemetrySnapshot",
     }
 )
 

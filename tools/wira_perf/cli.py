@@ -3,18 +3,22 @@
 Two commands:
 
 ``record``
-    Extract the ratchet metrics from ``BENCH_speed.json`` and append a
-    snapshot — ``{label, machine, metrics}`` — to the append-only
-    trajectory file ``BENCH_TRAJECTORY.json``.  One snapshot per PR is
-    the intended cadence.
+    Extract the ratchet metrics from ``BENCH_speed.json`` (and, when
+    present, the fleet throughput/overhead metrics from
+    ``BENCH_fleet.json``) and append a snapshot — ``{label, machine,
+    metrics}`` — to the append-only trajectory file
+    ``BENCH_TRAJECTORY.json``.  One snapshot per PR is the intended
+    cadence.
 
 ``check``
     Compare the current ``BENCH_speed.json`` against the most recent
     trajectory snapshot recorded on a *comparable machine* (same
     fingerprint: CPU count, architecture, Python version).  Exits 1
     when any ratchet metric — events/s on the solo loop, aggregate
-    events/s on the batched kernel, sessions/s on the replay — drops
-    more than ``--tolerance`` (default 10%).  Snapshots from different
+    events/s on the batched kernel, sessions/s on the replay and the
+    fleet campaign — drops more than ``--tolerance`` (default 10%), or
+    when the fleet checkpoint-overhead fraction *grows* past the gate
+    (lower is better there).  Snapshots from different
     machines are never compared: a laptop-vs-CI delta is hardware, not
     a regression.  A missing baseline passes with a note (use
     ``--strict`` to make it an error, e.g. on a self-hosted runner that
@@ -41,16 +45,31 @@ EXIT_ERROR = 2
 _REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 
 DEFAULT_BENCH = _REPO_ROOT / "BENCH_speed.json"
+DEFAULT_FLEET_BENCH = _REPO_ROOT / "BENCH_fleet.json"
 DEFAULT_TRAJECTORY = _REPO_ROOT / "BENCH_TRAJECTORY.json"
 
-#: The ratchet metrics: (name, path into BENCH_speed.json).  All are
-#: "higher is better" throughputs, which is what makes a one-sided
-#: tolerance check meaningful.
+#: The ratchet metrics: (name, bench source, path into that bench file).
+#: ``speed`` metrics come from BENCH_speed.json, ``fleet`` ones from
+#: BENCH_fleet.json.  All are "higher is better" throughputs except
+#: those listed in :data:`LOWER_IS_BETTER`, whose one-sided check runs
+#: in the other direction.
 RATCHET_METRICS = (
-    ("event_loop_events_per_second", ("event_loop", "events_per_second")),
-    ("batched_kernel_events_per_second", ("batched_kernel", "events_per_second")),
-    ("replay_sessions_per_second", ("deployment_replay", "sessions_per_second")),
+    ("event_loop_events_per_second", "speed", ("event_loop", "events_per_second")),
+    ("batched_kernel_events_per_second", "speed", ("batched_kernel", "events_per_second")),
+    ("replay_sessions_per_second", "speed", ("deployment_replay", "sessions_per_second")),
+    ("fleet_sessions_per_second", "fleet", ("campaign", "serial_sessions_per_sec")),
+    ("fleet_checkpoint_overhead_frac", "fleet", ("checkpoint_overhead", "overhead_frac")),
 )
+
+#: Metrics where *smaller* is better (overhead fractions).  Their gate
+#: allows ``base * (1 + tolerance)`` with a small absolute floor —
+#: near-zero overhead baselines would otherwise make any noise a
+#: "regression" of hundreds of percent.
+LOWER_IS_BETTER = frozenset({"fleet_checkpoint_overhead_frac"})
+
+#: Absolute slack added to lower-is-better gates (fractions ~0 are
+#: dominated by timer noise at smoke-test scale).
+_ABSOLUTE_FLOOR = 0.02
 
 
 def machine_fingerprint() -> Dict[str, object]:
@@ -64,17 +83,34 @@ def machine_fingerprint() -> Dict[str, object]:
     }
 
 
-def extract_metrics(bench: Dict[str, object]) -> Dict[str, float]:
-    """Pull the ratchet metrics out of a ``BENCH_speed.json`` payload.
+def extract_metrics(bench: Dict[str, object], source: str = "speed") -> Dict[str, float]:
+    """Pull one bench file's ratchet metrics out of its payload.
 
     Metrics whose section is absent are skipped (older schema, partial
     bench runs) rather than invented.
     """
     metrics: Dict[str, float] = {}
-    for name, (section, key) in RATCHET_METRICS:
+    for name, metric_source, (section, key) in RATCHET_METRICS:
+        if metric_source != source:
+            continue
         payload = bench.get(section)
         if isinstance(payload, dict) and key in payload:
             metrics[name] = float(payload[key])  # type: ignore[arg-type]
+    return metrics
+
+
+def gather_metrics(
+    bench_path: Path, fleet_bench_path: Optional[Path]
+) -> Dict[str, float]:
+    """All ratchet metrics from the bench files that exist.
+
+    The speed bench is mandatory; the fleet bench is optional — CI jobs
+    that only ran the speed benchmarks still record/check the speed
+    metrics rather than failing on the absent file.
+    """
+    metrics = extract_metrics(load_json(bench_path), source="speed")
+    if fleet_bench_path is not None and fleet_bench_path.exists():
+        metrics.update(extract_metrics(load_json(fleet_bench_path), source="fleet"))
     return metrics
 
 
@@ -110,8 +146,7 @@ def latest_comparable(
 
 
 def cmd_record(args: argparse.Namespace) -> int:
-    bench = load_json(Path(args.bench))
-    metrics = extract_metrics(bench)
+    metrics = gather_metrics(Path(args.bench), Path(args.fleet_bench))
     if not metrics:
         print(f"error: {args.bench} holds none of the ratchet metrics", file=sys.stderr)
         return EXIT_ERROR
@@ -130,8 +165,7 @@ def cmd_record(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    bench = load_json(Path(args.bench))
-    current = extract_metrics(bench)
+    current = gather_metrics(Path(args.bench), Path(args.fleet_bench))
     if not current:
         print(f"error: {args.bench} holds none of the ratchet metrics", file=sys.stderr)
         return EXIT_ERROR
@@ -151,15 +185,26 @@ def cmd_check(args: argparse.Namespace) -> int:
     failures = []
     for name, value in sorted(current.items()):
         base = base_metrics.get(name)
-        if base is None or float(base) <= 0:
+        if base is None:
             continue
-        ratio = value / float(base)
-        verdict = "ok" if ratio >= 1.0 - args.tolerance else "REGRESSION"
-        print(
-            f"{name}: {value:,.0f} vs baseline {float(base):,.0f} "
-            f"({ratio - 1.0:+.1%}) [{verdict}]"
-        )
-        if verdict == "REGRESSION":
+        base_value = float(base)
+        if name in LOWER_IS_BETTER:
+            allowed = max(base_value * (1.0 + args.tolerance), base_value + _ABSOLUTE_FLOOR)
+            ok = value <= allowed
+            print(
+                f"{name}: {value:.4f} vs baseline {base_value:.4f} "
+                f"(allowed <= {allowed:.4f}) [{'ok' if ok else 'REGRESSION'}]"
+            )
+        else:
+            if base_value <= 0:
+                continue
+            ratio = value / base_value
+            ok = ratio >= 1.0 - args.tolerance
+            print(
+                f"{name}: {value:,.0f} vs baseline {base_value:,.0f} "
+                f"({ratio - 1.0:+.1%}) [{'ok' if ok else 'REGRESSION'}]"
+            )
+        if not ok:
             failures.append(name)
     if failures:
         print(
@@ -181,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
     record = sub.add_parser("record", help="append a snapshot to the trajectory")
     record.add_argument("--bench", default=str(DEFAULT_BENCH), help="BENCH_speed.json path")
     record.add_argument(
+        "--fleet-bench", default=str(DEFAULT_FLEET_BENCH),
+        help="BENCH_fleet.json path (skipped when absent)",
+    )
+    record.add_argument(
         "--trajectory", default=str(DEFAULT_TRAJECTORY), help="BENCH_TRAJECTORY.json path"
     )
     record.add_argument("--label", required=True, help="snapshot label (e.g. pr7)")
@@ -188,6 +237,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser("check", help="fail on regression vs the trajectory")
     check.add_argument("--bench", default=str(DEFAULT_BENCH), help="BENCH_speed.json path")
+    check.add_argument(
+        "--fleet-bench", default=str(DEFAULT_FLEET_BENCH),
+        help="BENCH_fleet.json path (skipped when absent)",
+    )
     check.add_argument(
         "--trajectory", default=str(DEFAULT_TRAJECTORY), help="BENCH_TRAJECTORY.json path"
     )
