@@ -119,16 +119,23 @@ class SchemeAggregate:
     @classmethod
     def from_json(cls, payload: Mapping[str, object]) -> "SchemeAggregate":
         agg = cls.__new__(cls)
-        for name in _COUNTERS:
-            setattr(agg, name, int(payload[name]))  # type: ignore[call-overload]
-        agg.ffct_stats = StatAccumulator.from_json(payload["ffct_stats"])  # type: ignore[arg-type]
-        agg.ffct_sketch = QuantileSketch.from_json(payload["ffct_sketch"])  # type: ignore[arg-type]
-        agg.fflr_stats = StatAccumulator.from_json(payload["fflr_stats"])  # type: ignore[arg-type]
-        agg.fflr_sketch = QuantileSketch.from_json(payload["fflr_sketch"])  # type: ignore[arg-type]
-        phases: Mapping[str, Mapping[str, object]] = payload["phases"]  # type: ignore[assignment]
-        agg.phase_stats = {
-            name: StatAccumulator.from_json(phases[name]) for name in PHASES
-        }
+        try:
+            for name in _COUNTERS:
+                setattr(agg, name, int(payload[name]))  # type: ignore[call-overload]
+            agg.ffct_stats = StatAccumulator.from_json(payload["ffct_stats"])  # type: ignore[arg-type]
+            agg.ffct_sketch = QuantileSketch.from_json(payload["ffct_sketch"])  # type: ignore[arg-type]
+            agg.fflr_stats = StatAccumulator.from_json(payload["fflr_stats"])  # type: ignore[arg-type]
+            agg.fflr_sketch = QuantileSketch.from_json(payload["fflr_sketch"])  # type: ignore[arg-type]
+            phases: Mapping[str, Mapping[str, object]] = payload["phases"]  # type: ignore[assignment]
+            agg.phase_stats = {
+                name: StatAccumulator.from_json(phases[name]) for name in PHASES
+            }
+        except KeyError as exc:
+            # Missing keys mean a payload from an incompatible writer (the
+            # format version should have caught it); surface the defect as
+            # the ValueError every caller already handles, never a raw
+            # KeyError traceback.
+            raise ValueError(f"scheme aggregate payload missing key {exc}") from exc
         return agg
 
 
@@ -169,8 +176,11 @@ class CampaignAggregate:
     @classmethod
     def from_json(cls, payload: Mapping[str, object]) -> "CampaignAggregate":
         agg = cls.__new__(cls)
-        agg.alpha = float(payload["alpha"])  # type: ignore[arg-type]
-        schemes: Mapping[str, Mapping[str, object]] = payload["schemes"]  # type: ignore[assignment]
+        try:
+            agg.alpha = float(payload["alpha"])  # type: ignore[arg-type]
+            schemes: Mapping[str, Mapping[str, object]] = payload["schemes"]  # type: ignore[assignment]
+        except KeyError as exc:
+            raise ValueError(f"campaign aggregate payload missing key {exc}") from exc
         agg.schemes = {
             value: SchemeAggregate.from_json(schemes[value]) for value in sorted(schemes)
         }

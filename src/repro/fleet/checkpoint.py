@@ -27,7 +27,9 @@ from typing import Dict, Optional
 logger = logging.getLogger(__name__)
 
 #: Bump when the checkpoint layout changes; older files are ignored.
-CHECKPOINT_FORMAT_VERSION = 1
+#: v2: chunk aggregate payloads carry a per-scheme "phases" section
+#: (FFCT phase decomposition) that readers require.
+CHECKPOINT_FORMAT_VERSION = 2
 
 
 @dataclass

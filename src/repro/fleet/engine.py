@@ -56,7 +56,8 @@ def _trace(name: str, data: Dict[str, object]) -> None:
         _obs.ACTIVE.emit(0.0, name, "fleet", data)
 
 #: Bump when chunk semantics change; folded into the campaign key.
-FLEET_FORMAT_VERSION = 1
+#: v2: chunk aggregates gained the per-scheme "phases" section.
+FLEET_FORMAT_VERSION = 2
 
 #: Default scheme mix — the paper's Table I comparison set.
 DEFAULT_SCHEMES: Tuple[str, ...] = (

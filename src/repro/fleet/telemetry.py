@@ -380,8 +380,22 @@ class LiveStatus:
         return out
 
 
+def _snapshot_sessions(snapshot: TelemetrySnapshot) -> int:
+    """Sessions one chunk folded, re-derived from its aggregate."""
+    total = derive_counters(snapshot.aggregate)["total"]
+    return int(total["sessions"])  # type: ignore[call-overload,index]
+
+
 def live_status(snapshots: Mapping[int, TelemetrySnapshot]) -> LiveStatus:
-    """Compute the dashboard view from the snapshots read so far."""
+    """Compute the dashboard view from the snapshots read so far.
+
+    Rate and ETA are **current-run** figures: chunks adopted from a
+    checkpoint on resume carry ``elapsed_s=None`` (their original
+    wall-clock cost is unknown), so only snapshots with real timings
+    contribute sessions and chunk counts to ``sessions_per_second`` and
+    ``eta_seconds`` — a resumed campaign's rate is not inflated by work
+    a previous run paid for.
+    """
     if not snapshots:
         raise ValueError("no snapshots to summarize")
     ordered = [snapshots[index] for index in sorted(snapshots)]
@@ -403,16 +417,19 @@ def live_status(snapshots: Mapping[int, TelemetrySnapshot]) -> LiveStatus:
     completed = sum(agg.completed for agg in merged.schemes.values())
     n_chunks = ordered[0].n_chunks
     done = len(ordered)
-    elapsed_values = [
-        t for s in ordered if (t := s.timing.get("elapsed_s")) is not None
-    ]
-    elapsed = max(elapsed_values) if elapsed_values else None
-    rate = sessions / elapsed if elapsed and elapsed > 0 else None
+    timed = [s for s in ordered if s.timing.get("elapsed_s") is not None]
+    elapsed = (
+        max(float(s.timing["elapsed_s"]) for s in timed)  # type: ignore[arg-type]
+        if timed
+        else None
+    )
+    run_sessions = sum(_snapshot_sessions(s) for s in timed)
+    rate = run_sessions / elapsed if elapsed and elapsed > 0 else None
     eta: Optional[float] = None
-    if elapsed is not None and 0 < done < n_chunks:
-        eta = elapsed / done * (n_chunks - done)
-    elif done >= n_chunks:
+    if done >= n_chunks:
         eta = 0.0
+    elif elapsed is not None and timed:
+        eta = elapsed / len(timed) * (n_chunks - done)
     return LiveStatus(
         campaign_key=ordered[0].campaign_key,
         n_chunks=n_chunks,

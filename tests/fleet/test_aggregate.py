@@ -81,6 +81,17 @@ class TestSchemeAggregate:
             left.merge(folded(outcomes[split:]))
             assert canon(left.to_json()) == canon(whole.to_json())
 
+    def test_v1_payload_without_phases_raises_value_error(self):
+        """A v1-era chunk payload (no "phases" section) is refused with
+        the ValueError every caller handles — never a raw KeyError.  The
+        checkpoint format-version bump keeps such payloads out upstream;
+        this is the defense in depth behind it."""
+        rng = random.Random(2)
+        payload = folded([fake_outcome(rng) for _ in range(10)]).to_json()
+        del payload["phases"]
+        with pytest.raises(ValueError, match="phases"):
+            SchemeAggregate.from_json(payload)
+
     def test_json_round_trip_then_merge_bitwise(self):
         rng = random.Random(3)
         outcomes = [fake_outcome(rng) for _ in range(100)]

@@ -193,6 +193,25 @@ class TestCheckpointResume:
         state = load_checkpoint(path)
         assert state is not None and state.complete
 
+    def test_previous_format_checkpoint_treated_as_absent(self, tmp_path):
+        """A checkpoint from before chunk payloads gained "phases"
+        (format_version 1) is refused by the version guard — the clean
+        "no usable checkpoint" path, never a KeyError while merging."""
+        config = small_config()
+        path = tmp_path / "campaign.json"
+        chunk = run_chunk(config, 0)
+        for scheme_payload in chunk["schemes"].values():
+            del scheme_payload["phases"]
+        payload = CheckpointState(
+            key=config.key(),
+            config=config.to_json(),
+            n_chunks=config.n_chunks,
+            chunks={0: chunk},
+        ).to_json()
+        payload["format_version"] = 1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert load_checkpoint(path) is None
+
     def test_truncated_checkpoint_treated_as_absent(self, tmp_path):
         config = small_config(population=DeploymentConfig(n_od_pairs=2, seed=3))
         path = tmp_path / "campaign.json"

@@ -238,3 +238,29 @@ class TestCountersAndLiveView:
     def test_live_status_requires_snapshots(self):
         with pytest.raises(ValueError):
             live_status({})
+
+    def test_resume_rate_excludes_adopted_sessions(self):
+        """Chunks adopted from a checkpoint (elapsed_s=None) were paid
+        for by a previous run: they must not inflate sessions/sec, and
+        the ETA must scale the current run's per-chunk cost."""
+        config = small_config()
+        key = config.key()
+        payload0 = run_chunk(config, 0)
+        payload1 = run_chunk(config, 1)
+        adopted = TelemetrySnapshot.for_chunk(
+            key, config.n_chunks, 0, payload0, elapsed_s=None
+        )
+        fresh = TelemetrySnapshot.for_chunk(
+            key, config.n_chunks, 1, payload1, elapsed_s=2.0
+        )
+        status = live_status({0: adopted, 1: fresh})
+        fresh_sessions = derive_counters(payload1)["total"]["sessions"]
+        # Totals still cover the whole campaign so far ...
+        assert status.sessions > fresh_sessions
+        # ... but throughput reflects only what this run produced.
+        assert status.sessions_per_second == pytest.approx(fresh_sessions / 2.0)
+        assert status.eta_seconds == pytest.approx(2.0 * (config.n_chunks - 2))
+        # All-adopted view: no current-run work yet, so no rate or ETA.
+        only_adopted = live_status({0: adopted})
+        assert only_adopted.sessions_per_second is None
+        assert only_adopted.eta_seconds is None

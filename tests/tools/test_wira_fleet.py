@@ -138,6 +138,31 @@ class TestStatusAndReport:
         report = read_report(out)
         assert report["partial"] == {"chunks_completed": 1, "chunks_total": 2}
 
+    def test_v1_checkpoint_refused_cleanly(self, tmp_path, capsys):
+        """A checkpoint from before chunk payloads carried "phases"
+        (format_version 1) must hit the designed "no usable checkpoint"
+        error — not a KeyError traceback out of the merge."""
+        config = small_config()
+        path = tmp_path / "cp.json"
+        chunk = run_chunk(config, 0)
+        for scheme_payload in chunk["schemes"].values():
+            del scheme_payload["phases"]
+        payload = CheckpointState(
+            key=config.key(),
+            config=config.to_json(),
+            n_chunks=config.n_chunks,
+            chunks={0: chunk},
+        ).to_json()
+        payload["format_version"] = 1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        for argv in (
+            ["report", "--checkpoint", str(path), "--partial"],
+            ["resume", "--checkpoint", str(path), "--quiet"],
+            ["status", "--checkpoint", str(path)],
+        ):
+            assert main(argv) == EXIT_FAILED
+            assert "no usable checkpoint" in capsys.readouterr().err
+
     def test_report_matches_run_output(self, tmp_path):
         checkpoint = tmp_path / "cp.json"
         run_out = tmp_path / "run.json"
@@ -209,6 +234,45 @@ class TestTelemetry:
         assert "chunks 2/2" in out
         assert "p50" in out
         assert "baseline" in out and "wira" in out
+
+    def test_live_status_tolerates_stale_foreign_snapshot(self, tmp_path, capsys):
+        """A snapshot left behind by a different campaign (polling
+        across a restart) must be ignored, not crash the dashboard
+        with exit 2 on the mixed-campaign merge."""
+        checkpoint, telemetry = self.completed_campaign(tmp_path)
+        foreign = json.loads(snapshot_path(telemetry, 0).read_text())
+        foreign["campaign_key"] = "f" * 40
+        foreign["chunk_index"] = 5
+        foreign["n_chunks"] = 9
+        snapshot_path(telemetry, 5).write_text(json.dumps(foreign))
+        code = main(
+            ["status", "--checkpoint", str(checkpoint),
+             "--live", "--polls", "1", "--interval", "0"]
+        )
+        assert code == EXIT_OK
+        assert "chunks 2/2" in capsys.readouterr().out
+
+    def test_report_html_warns_on_schema_skew(self, tmp_path, capsys):
+        """Schema-skewed snapshots drop the HTML throughput section with
+        a visible warning — silence would mask a version mismatch."""
+        checkpoint, telemetry = self.completed_campaign(tmp_path)
+        for index in (0, 1):
+            path = snapshot_path(telemetry, index)
+            payload = json.loads(path.read_text())
+            payload["schema_version"] = TELEMETRY_SCHEMA_VERSION + 1
+            path.write_text(json.dumps(payload))
+        html_out = tmp_path / "report.html"
+        code = main(
+            ["report", "--checkpoint", str(checkpoint),
+             "--html", str(html_out), "--out", str(tmp_path / "r.json")]
+        )
+        assert code == EXIT_OK
+        captured = capsys.readouterr()
+        assert "warning:" in captured.err
+        assert "schema_version" in captured.err
+        document = html_out.read_text()
+        assert document.startswith("<!DOCTYPE html>")
+        assert "Live telemetry" not in document
 
     def test_live_status_waits_when_no_snapshots(self, tmp_path, capsys):
         config = small_config()

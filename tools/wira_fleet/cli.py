@@ -75,6 +75,7 @@ from repro.fleet.report import build_report, canonical_json, report_hash  # noqa
 from repro.fleet.telemetry import (  # noqa: E402
     LiveStatus,
     TelemetrySchemaError,
+    TelemetrySnapshot,
     default_telemetry_dir,
     live_status,
     merge_snapshots,
@@ -148,6 +149,31 @@ def _load_checkpoint_retry(
         if attempt + 1 < max(1, attempts):
             time.sleep(delay_s)
     return None
+
+
+def _campaign_snapshots(
+    snapshots: Dict[int, TelemetrySnapshot], preferred_key: Optional[str]
+) -> Dict[int, TelemetrySnapshot]:
+    """Restrict a snapshot scan to one campaign's snapshots.
+
+    A telemetry directory can transiently hold snapshots from more than
+    one campaign (polling across a restart, before the engine's
+    ``_sync_telemetry`` clears the stale ones).  Merging such a mix
+    raises ``ValueError``, which must never kill an inspection command —
+    so filter to the checkpoint's campaign when it matches anything,
+    else to the (deterministically tie-broken) majority key.
+    """
+    if not snapshots:
+        return snapshots
+    keys = [s.campaign_key for s in snapshots.values()]
+    if preferred_key is not None and preferred_key in keys:
+        key = preferred_key
+    else:
+        counts: Dict[str, int] = {}
+        for k in keys:
+            counts[k] = counts.get(k, 0) + 1
+        key = max(sorted(counts), key=lambda k: counts[k])
+    return {i: s for i, s in snapshots.items() if s.campaign_key == key}
 
 
 def _checkpoint_sessions(state: CheckpointState) -> int:
@@ -283,9 +309,22 @@ def cmd_status(args: argparse.Namespace) -> int:
         except TelemetrySchemaError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return EXIT_FAILED
-        now = time.monotonic()
+        # Keep only one campaign's snapshots (prefer the checkpoint's):
+        # a restart can leave a stale foreign snapshot behind for one
+        # poll, and a mixed merge must degrade to a skipped poll, never
+        # kill the dashboard.
+        state = load_checkpoint(checkpoint)
+        snapshots = _campaign_snapshots(
+            snapshots, state.key if state is not None else None
+        )
+        status: Optional[LiveStatus] = None
         if snapshots:
-            status = live_status(snapshots)
+            try:
+                status = live_status(snapshots)
+            except ValueError:
+                status = None
+        now = time.monotonic()
+        if status is not None:
             rolling: Optional[float] = None
             if previous is not None and previous_at is not None and now > previous_at:
                 delta = status.sessions - previous.sessions
@@ -400,8 +439,20 @@ def cmd_report(args: argparse.Namespace) -> int:
         )
         try:
             snapshots = scan_snapshots(telemetry_dir)
-        except TelemetrySchemaError:
+        except TelemetrySchemaError as exc:
+            # status --live and verify treat this skew as a hard error;
+            # the HTML report can still be built without its throughput
+            # section, but silence would mask a version mismatch.
+            print(
+                f"warning: ignoring telemetry snapshots in {telemetry_dir} "
+                f"({exc}); html report will omit the throughput section",
+                file=sys.stderr,
+            )
             snapshots = {}
+        # Only this campaign's snapshots may feed the throughput section.
+        snapshots = {
+            i: s for i, s in snapshots.items() if s.campaign_key == state.key
+        }
         if snapshots:
             status = live_status(snapshots)
             telemetry_payload = {
