@@ -218,10 +218,28 @@ class StreamingSession:
         stream_name: str,
         cookie_store: Optional[ClientCookieStore] = None,
         cookie_manager: Optional[ServerCookieManager] = None,
+        stream_data_tap: Optional[Callable[[float, int, bytes, bool], None]] = None,
+        hx_qos_tap: Optional[Callable[[float, object], None]] = None,
     ) -> "StreamingSession":
-        """Build a session from an immutable spec plus its environment."""
+        """Build a session from an immutable spec plus its environment.
+
+        ``stream_data_tap`` / ``hx_qos_tap`` observe what the *client*
+        connection delivers, stamped with the loop time, without
+        altering behaviour — ``(now, stream_id, data, fin)`` for stream
+        data and ``(now, frame)`` for pushed Hx_QoS frames.  The serve
+        shard uses them to capture the sim's delivery timeline for
+        socket replay; ``None`` (the default) installs nothing.
+        """
         session = cls.__new__(cls)
-        session._bind(spec, origin, stream_name, cookie_store, cookie_manager)
+        session._bind(
+            spec,
+            origin,
+            stream_name,
+            cookie_store,
+            cookie_manager,
+            stream_data_tap=stream_data_tap,
+            hx_qos_tap=hx_qos_tap,
+        )
         return session
 
     def _bind(
@@ -231,6 +249,8 @@ class StreamingSession:
         stream_name: str,
         cookie_store: Optional[ClientCookieStore],
         cookie_manager: Optional[ServerCookieManager],
+        stream_data_tap: Optional[Callable[[float, int, bytes, bool], None]] = None,
+        hx_qos_tap: Optional[Callable[[float, object], None]] = None,
     ) -> None:
         self.spec = spec
         self.conditions = spec.conditions
@@ -251,11 +271,18 @@ class StreamingSession:
         self.trace_label = spec.trace_label
         self.schedule = spec.schedule
         self.fault_plan = spec.fault_plan
+        self.stream_data_tap = stream_data_tap
+        self.hx_qos_tap = hx_qos_tap
         if cookie_manager is not None:
             self.cookie_manager = cookie_manager
         else:
+            # Seed the nonce salt so two default managers (one per
+            # session seed) never share a nonce sequence even though
+            # every manager's counter starts at 0 under one key.
             self.cookie_manager = ServerCookieManager(
-                DEFAULT_COOKIE_KEY, staleness_delta=self.wira_config.staleness_delta
+                DEFAULT_COOKIE_KEY,
+                staleness_delta=self.wira_config.staleness_delta,
+                instance_salt=b"session:%d" % spec.seed,
             )
 
     def run(self) -> SessionResult:
@@ -387,6 +414,27 @@ class StreamingSession:
             on_first_frame=lambda: ff_stats.append(server_conn.stats.snapshot()),
             on_video_frame=lambda k: frame_snapshots.append(server_conn.stats.snapshot()),
         )
+
+        if self.stream_data_tap is not None:
+            data_tap = self.stream_data_tap
+            client_on_stream_data = client_conn.on_stream_data
+
+            def _tapped_stream_data(stream_id: int, data: bytes, fin: bool) -> None:
+                data_tap(loop.now, stream_id, data, fin)
+                if client_on_stream_data is not None:
+                    client_on_stream_data(stream_id, data, fin)
+
+            client_conn.on_stream_data = _tapped_stream_data
+        if self.hx_qos_tap is not None:
+            qos_tap = self.hx_qos_tap
+            client_on_hx_qos = client_conn.on_hx_qos
+
+            def _tapped_hx_qos(frame: object) -> None:
+                qos_tap(loop.now, frame)
+                if client_on_hx_qos is not None:
+                    client_on_hx_qos(frame)  # type: ignore[arg-type]
+
+            client_conn.on_hx_qos = _tapped_hx_qos
 
         client.start()
         return LiveSession(

@@ -60,11 +60,20 @@ class CookieSealer:
             counter += 1
         return bytes(out[:length])
 
-    def seal(self, plaintext: bytes, nonce_seed: int) -> bytes:
-        """Encrypt-then-MAC ``plaintext``; returns the opaque blob."""
-        nonce = hashlib.sha256(struct.pack(">Q", nonce_seed) + b"wira-nonce").digest()[
-            :_NONCE_LEN
-        ]
+    def seal(self, plaintext: bytes, nonce_seed: int, salt: bytes = b"") -> bytes:
+        """Encrypt-then-MAC ``plaintext``; returns the opaque blob.
+
+        ``salt`` namespaces the nonce sequence.  Two sealers holding the
+        same key but different salts derive disjoint nonces even when
+        their ``nonce_seed`` counters collide — the property that keeps
+        N shard processes sharing one deployment key from reusing a
+        keystream (a two-time pad).  The salt is folded into the nonce
+        *derivation* only; the blob layout is unchanged and ``open``
+        needs no salt, so sealed cookies stay openable cross-shard.
+        """
+        nonce = hashlib.sha256(
+            salt + struct.pack(">Q", nonce_seed) + b"wira-nonce"
+        ).digest()[:_NONCE_LEN]
         keystream = self._keystream(nonce, len(plaintext))
         ciphertext = bytes(p ^ k for p, k in zip(plaintext, keystream))
         mac = hmac.new(self._mac_key, nonce + ciphertext, hashlib.sha256).digest()[:_MAC_LEN]

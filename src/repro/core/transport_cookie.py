@@ -20,7 +20,7 @@ the cache of its clients" storage shift the paper argues for.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.cookie_crypto import CookieError, CookieSealer
 from repro.quic.frames import HxId, HxQosFrame
@@ -87,6 +87,12 @@ def encode_hqst(
     "the Hx_QoS_Frame will keep available only when Bool = 1 and the
     TagLen is larger than the sum of sizes of TagID, TagLen and Bool".
     """
+    if received_at_ms is not None and sealed_frame is None:
+        # A timestamp describes when a sealed frame arrived; one without
+        # the other is a caller bug.  Silently emitting the bare Bool
+        # here used to hide exactly that bug (the receipt time vanished
+        # from the wire with no error).
+        raise ValueError("received_at_ms given without sealed_frame")
     out = bytearray([0x01 if supported else 0x00])
     if supported and sealed_frame is not None:
         out += encode_varint(received_at_ms if received_at_ms is not None else 0)
@@ -136,16 +142,87 @@ class ClientCookieStore:
     The client cannot read the sealed blobs; it only stores and echoes
     them, recording when each arrived (the timestamp "carried in the
     next CHLO packets").
+
+    The cache is bounded: ``max_entries`` caps the number of origins and
+    ``ttl`` expires entries whose receipt time has aged out.  Eviction is
+    deterministic and insertion-ordered — Python dicts preserve insertion
+    order, :meth:`update` re-inserts an origin on refresh (moving it to
+    the back), and capacity pressure always evicts the front.  Long-lived
+    serve clients and million-session campaigns therefore hold bounded
+    RSS regardless of how many origins they touch.  Both knobs default to
+    ``None`` (unbounded), preserving the historical behaviour.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        ttl: Optional[float] = None,
+        on_evict: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive")
         self._cookies: Dict[str, Tuple[bytes, float]] = {}
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self.evicted_capacity = 0
+        self.evicted_ttl = 0
+        self._on_evict = on_evict
+
+    @property
+    def evictions(self) -> int:
+        """Total entries dropped by capacity or TTL pressure."""
+        return self.evicted_capacity + self.evicted_ttl
+
+    def set_on_evict(self, callback: Optional[Callable[[str, str], None]]) -> None:
+        """Install the eviction observer ``(origin, reason) -> None``.
+
+        ``reason`` is ``"capacity"`` or ``"ttl"``.  A store outlives any
+        one session, so each new session's client re-points this at its
+        own trace scope.
+        """
+        self._on_evict = callback
+
+    def _evict(self, origin: str, reason: str) -> None:
+        del self._cookies[origin]
+        if reason == "ttl":
+            self.evicted_ttl += 1
+        else:
+            self.evicted_capacity += 1
+        if self._on_evict is not None:
+            self._on_evict(origin, reason)
+
+    def _expire(self, now: float) -> None:
+        if self.ttl is None:
+            return
+        # Insertion order is not receipt order after refreshes, so scan
+        # the whole dict; expired origins are removed oldest-insertion
+        # first, which keeps the eviction *sequence* deterministic.
+        for origin in [
+            o for o, (_, received_at) in self._cookies.items()
+            if now - received_at > self.ttl
+        ]:
+            self._evict(origin, "ttl")
 
     def update(self, origin: str, sealed: bytes, received_at: float) -> None:
+        self._expire(received_at)
+        # Refresh recency: re-insert so the origin moves to the back of
+        # the insertion order and is evicted last under capacity.
+        self._cookies.pop(origin, None)
         self._cookies[origin] = (sealed, received_at)
+        if self.max_entries is not None:
+            while len(self._cookies) > self.max_entries:
+                self._evict(next(iter(self._cookies)), "capacity")
 
-    def get(self, origin: str) -> Optional[Tuple[bytes, float]]:
-        """Latest ``(sealed_blob, received_at)`` for ``origin``."""
+    def get(self, origin: str, now: Optional[float] = None) -> Optional[Tuple[bytes, float]]:
+        """Latest ``(sealed_blob, received_at)`` for ``origin``.
+
+        Passing ``now`` applies TTL expiry before the lookup, so a
+        stale cookie is never echoed even between updates.
+        """
+        if now is not None:
+            self._expire(now)
         return self._cookies.get(origin)
 
     def forget(self, origin: str) -> None:
@@ -153,6 +230,10 @@ class ClientCookieStore:
 
     def __len__(self) -> int:
         return len(self._cookies)
+
+    def origins(self) -> Tuple[str, ...]:
+        """Cached origins in current insertion (eviction) order."""
+        return tuple(self._cookies)
 
     def on_hx_qos_frame(self, origin: str, frame: HxQosFrame, now: float) -> bool:
         """Ingest a pushed Hx_QoS frame; returns True if a cookie landed."""
@@ -181,18 +262,30 @@ class ServerCookieManager:
         key: bytes,
         staleness_delta: float = 3600.0,
         max_clock_skew: float = 5.0,
+        instance_salt: bytes = b"",
     ) -> None:
         self._sealer = CookieSealer(key)
         self.staleness_delta = staleness_delta
         self.max_clock_skew = max_clock_skew
         self._nonce_counter = 0
+        self._instance_salt = instance_salt
         self.rejected_cookies = 0
         self.stale_cookies = 0
 
     def build_frame(self, qos: HxQos) -> HxQosFrame:
-        """Sealed Hx_QoS frame to push to the client."""
+        """Sealed Hx_QoS frame to push to the client.
+
+        The nonce mixes :attr:`_nonce_counter` with ``instance_salt``.
+        The counter alone is NOT unique across processes — it starts at
+        0 in every manager, so N shards sharing one deployment key would
+        reuse keystreams (seal two plaintexts under the same nonce, a
+        two-time pad).  Deployments running multiple managers over one
+        key must give each a distinct salt (e.g. seed + shard id).
+        """
         self._nonce_counter += 1
-        sealed = self._sealer.seal(qos.encode(), nonce_seed=self._nonce_counter)
+        sealed = self._sealer.seal(
+            qos.encode(), nonce_seed=self._nonce_counter, salt=self._instance_salt
+        )
         return HxQosFrame.from_metrics(
             min_rtt=qos.min_rtt,
             max_bw_bps=qos.max_bw_bps,

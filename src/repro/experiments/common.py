@@ -82,6 +82,23 @@ def run_deployment(
     )
 
 
+def chain_cookie_manager(chain_index: int, wira_config: WiraConfig) -> ServerCookieManager:
+    """The per-chain cookie manager, nonce-salted by chain index.
+
+    All chains share :data:`COOKIE_KEY` (one deployment, one key) and
+    every manager's nonce counter starts at 0, so without a per-chain
+    salt two chains would seal under colliding nonces — the same
+    two-time-pad bug the sharded serve edge hit.  The salt depends only
+    on the chain index, so serial and process-pool replays stay
+    byte-identical.
+    """
+    return ServerCookieManager(
+        COOKIE_KEY,
+        staleness_delta=wira_config.staleness_delta,
+        instance_salt=b"chain:%d" % chain_index,
+    )
+
+
 def session_spec_for(
     planned: PlannedSession,
     scheme: Scheme,
@@ -116,7 +133,7 @@ def iter_chain_outcomes(
     figure-scale wrapper that still materializes the list.
     """
     store = ClientCookieStore()
-    manager = ServerCookieManager(COOKIE_KEY, staleness_delta=wira_config.staleness_delta)
+    manager = chain_cookie_manager(chain_index, wira_config)
     origin = Origin()
     stream_name = f"stream-{chain_index}"
     origin.add_stream(stream_name, chain[0].stream_profile)
@@ -192,9 +209,7 @@ def replay_chains_wave_batched(
     environments = []
     for offset, chain in enumerate(chains):
         store = ClientCookieStore()
-        manager = ServerCookieManager(
-            COOKIE_KEY, staleness_delta=wira_config.staleness_delta
-        )
+        manager = chain_cookie_manager(base_index + offset, wira_config)
         origin = Origin()
         stream_name = f"stream-{base_index + offset}"
         origin.add_stream(stream_name, chain[0].stream_profile)

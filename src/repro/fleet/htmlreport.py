@@ -453,6 +453,7 @@ def render_html_report(
     config: Optional[Mapping[str, object]] = None,
     telemetry: Optional[Mapping[str, object]] = None,
     title: str = "Fleet campaign report",
+    extra_sections: Optional[Sequence[str]] = None,
 ) -> str:
     """Render one campaign as a self-contained HTML document.
 
@@ -460,6 +461,8 @@ def render_html_report(
     ``aggregate`` the merged campaign aggregate the CDF curves are drawn
     from, ``config`` the campaign's config JSON for the header, and
     ``telemetry`` an optional live-status payload (chunks, throughput).
+    ``extra_sections`` are pre-rendered ``<section>`` blocks appended
+    before the footer (serve mode adds its vs-sim comparison there).
     Deterministic: same inputs → same bytes.
     """
     key = report.get("campaign_key", "")
@@ -495,6 +498,7 @@ def render_html_report(
         _phase_section(report),
         _telemetry_section(telemetry),
         "</section>",
+        *(extra_sections or ()),
         "<footer>Generated by wira-fleet · deterministic artifact "
         "(no timestamps) · quantiles are DDSketch estimates "
         f"(α={_esc(report.get('sketch_alpha', ''))}).</footer>",

@@ -38,6 +38,9 @@ SCHEMA_VERSION = 1
 #: ``fault:*``      — injected faults and adverse-schedule transitions
 #: ``fleet:*``      — campaign-engine milestones (chunk lifecycle,
 #:                    telemetry snapshots, resume adoption)
+#: ``serve:*``      — real-socket edge milestones (loadtest driver,
+#:                    shard router); wall-clock territory, emitted
+#:                    outside session scopes like ``fleet:*``
 EVENT_NAMES = frozenset(
     {
         "trace:meta",
@@ -45,6 +48,10 @@ EVENT_NAMES = frozenset(
         "fleet:chunk_complete",
         "fleet:snapshot_written",
         "fleet:resume_adopted",
+        "serve:session_begin",
+        "serve:session_complete",
+        "serve:retransmit",
+        "serve:reshard",
         "transport:packet_sent",
         "transport:packet_received",
         "transport:packet_acked",
@@ -66,6 +73,7 @@ EVENT_NAMES = frozenset(
         "wira:cookie_hit",
         "wira:cookie_miss",
         "wira:cookie_received",
+        "wira:cookie_evicted",
         "wira:init_cwnd",
         "wira:init_pacing",
         "session:request_sent",

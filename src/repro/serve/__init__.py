@@ -1,0 +1,43 @@
+"""Service mode: the wire format over real localhost UDP sockets.
+
+Everything below this package is **wall-clock territory**: sessions are
+driven by ``asyncio`` against real sockets, so timings carry OS jitter
+and nothing here is replay-deterministic.  That is the point — ROADMAP
+item 2 asks for the sim-to-socket loop to be closed by measuring the
+*same* wire format (varint headers, HQST tags, sealed Hx_QoS cookies,
+the :mod:`repro.quic` codecs — no fork) through real I/O and comparing
+the FFCT distributions against the simulator's.
+
+Layout:
+
+* :mod:`repro.serve.wire` — the datagram envelope framing `repro.quic`
+  packets for transport over UDP, plus truncation-safe decoding.
+* :mod:`repro.serve.ring` — consistent-hash ring with virtual nodes,
+  keyed on OD pair.
+* :mod:`repro.serve.store` — capacity-bounded, TTL-evicting keyed
+  stores; the sharded store that survives reshards with bounded key
+  movement.
+* :mod:`repro.serve.transport` — thin asyncio UDP endpoint helpers.
+* :mod:`repro.serve.shard` — the proxy-shard worker process: terminates
+  CHLOs, runs the simulator as its timing oracle, replays the delivery
+  timeline over the socket, pushes sealed cookies.
+* :mod:`repro.serve.router` — consistent-hash front router with sticky
+  (chain-pinned) affinity.
+* :mod:`repro.serve.driver` — the measuring client: real FLV demux,
+  wall-clock FFCT, cookie echo from a bounded client store.
+* :mod:`repro.serve.loadtest` — campaign orchestration, the
+  sim-vs-socket comparison, JSON/HTML reporting.
+"""
+
+from repro.serve.ring import HashRing
+from repro.serve.store import BoundedKeyedStore, ShardedCookieStore
+from repro.serve.wire import Envelope, EnvelopeError, EnvelopeKind
+
+__all__ = [
+    "BoundedKeyedStore",
+    "Envelope",
+    "EnvelopeError",
+    "EnvelopeKind",
+    "HashRing",
+    "ShardedCookieStore",
+]

@@ -1,0 +1,490 @@
+"""The serve-mode measuring client.
+
+One :class:`ServeDriver` multiplexes every session of a campaign over a
+single UDP socket (flow-demuxed by connection id), so 10k concurrent
+sessions cost one file descriptor, not 10k.  Per session it
+
+1. echoes any stored cookie in a byte-identical HQST tag (built by the
+   simulator's own :meth:`~repro.cdn.client.WiraClient.build_hqst_tag`),
+2. sends the CHLO with the planned-session spec and waits for the SHLO,
+3. sends the GET — the wall-clock measurement anchor — and then runs the
+   **real FLV demuxer** over the received stream, timestamping every
+   completed video frame exactly as the simulated player does,
+4. stores pushed Hx_QoS cookies in a bounded
+   :class:`~repro.core.transport_cookie.ClientCookieStore` shared across
+   all chains (the long-lived-client RSS story), and
+5. repairs datagram gaps with ``RESEND`` requests so loopback drops
+   never silently truncate a distribution.
+
+The outcome is a real :class:`~repro.cdn.session.SessionResult`, so
+fleet aggregates, reports and the HTML renderer consume socket sessions
+unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs as _obs
+from repro.cdn.client import ClientMetrics, WiraClient
+from repro.core.initializer import Scheme
+from repro.cdn.session import SessionResult
+from repro.core.transport_cookie import ClientCookieStore
+from repro.media import flv
+from repro.quic.connection import ConnectionStats
+from repro.quic.frames import HxQosFrame
+from repro.quic.handshake import HandshakeMessageType
+from repro.quic.packet import Packet, PacketType
+from repro.serve import protocol
+from repro.serve.transport import Address, UdpEndpoint, open_endpoint
+from repro.serve.wire import EnvelopeError, EnvelopeKind, decode_envelope, encode_envelope
+from repro.workload.population import PlannedSession
+
+#: Resend cadence for the unreliable handshake/request datagrams.
+HANDSHAKE_RETRY = 0.6
+HANDSHAKE_ATTEMPTS = 8
+
+#: Gap-repair probe: fired when received data stalls with a known gap.
+REPAIR_DELAY = 0.15
+REPAIR_ATTEMPTS = 40
+
+#: Wall-clock slack on top of the sim timeline before a session is
+#: declared lost.
+SESSION_GRACE = 5.0
+
+
+class WireFailure(RuntimeError):
+    """A session could not be completed over the socket."""
+
+
+@dataclass
+class ServeSessionOutcome:
+    """One socket-measured session, plus its shard-side summary."""
+
+    planned: PlannedSession
+    scheme_value: str
+    result: SessionResult
+    summary: protocol.ShloSummary
+    wall_ffct: Optional[float]
+    retransmit_requests: int
+
+
+@dataclass
+class _Flow:
+    """Receive-side state of one in-flight session."""
+
+    connection_id: bytes
+    shlo: "asyncio.Future[protocol.ShloSummary]"
+    chunks: Dict[int, bytes] = field(default_factory=dict)
+    contiguous: int = 0
+    fin_at: Optional[int] = None
+    demuxer: flv.FlvDemuxer = field(default_factory=lambda: flv.FlvDemuxer(expect_header=True))
+    first_byte_at: Optional[float] = None
+    first_frame_at: Optional[float] = None
+    frame_times: List[float] = field(default_factory=list)
+    bytes_received: int = 0
+    cookies: List[HxQosFrame] = field(default_factory=list)
+    progress: Optional[asyncio.Event] = None
+    anchor: float = 0.0
+
+
+class ServeDriver:
+    """Campaign-wide client: one socket, many flows, one cookie store."""
+
+    def __init__(
+        self,
+        server_addr: Address,
+        campaign_seed: int,
+        store_max_entries: Optional[int] = None,
+        store_ttl: Optional[float] = None,
+        playback_threshold: int = 1,
+    ) -> None:
+        self.server_addr = server_addr
+        self.campaign_seed = campaign_seed
+        self.playback_threshold = playback_threshold
+        self.cookie_store = ClientCookieStore(
+            max_entries=store_max_entries, ttl=store_ttl, on_evict=self._on_evict
+        )
+        self.endpoint: Optional[UdpEndpoint] = None
+        self._flows: Dict[bytes, _Flow] = {}
+        self.stats: Dict[str, int] = {
+            "sessions": 0,
+            "wire_failures": 0,
+            "undecodable": 0,
+            "unknown_flow": 0,
+            "retransmit_requests": 0,
+            "cookie_evictions": 0,
+        }
+
+    async def start(self) -> None:
+        self.endpoint = await open_endpoint(self._on_datagram)
+
+    def close(self) -> None:
+        if self.endpoint is not None:
+            self.endpoint.close()
+
+    def _on_evict(self, origin: str, reason: str) -> None:
+        self.stats["cookie_evictions"] += 1
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                0.0, "wira:cookie_evicted", "serve", {"origin": origin, "reason": reason}
+            )
+
+    def _emit(self, name: str, data: Dict[str, object]) -> None:
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(0.0, name, "serve", data)
+
+    # ------------------------------------------------------------------
+    # receive path
+
+    def _on_datagram(self, data: bytes, addr: Address) -> None:
+        try:
+            envelope = decode_envelope(data)
+            if envelope.kind != EnvelopeKind.DATA:
+                return
+            packet = protocol.parse_data_payload(envelope.payload)
+        except ValueError:
+            # Same drop-and-count discipline as the simulator's
+            # corrupted-datagram path: malformed input never crashes the
+            # receive loop and never partially applies.
+            self.stats["undecodable"] += 1
+            return
+        flow = self._flows.get(packet.connection_id)
+        if flow is None:
+            self.stats["unknown_flow"] += 1
+            return
+        if packet.packet_type == PacketType.HANDSHAKE:
+            self._on_shlo(flow, packet)
+            return
+        if packet.packet_type != PacketType.ONE_RTT:
+            return
+        loop_now = asyncio.get_running_loop().time()
+        for frame in protocol.stream_frames(packet):
+            if frame.stream_id == protocol.REQUEST_STREAM:
+                self._on_stream_chunk(flow, frame.offset, frame.data, frame.fin, loop_now)
+        for hx in protocol.hx_qos_frames(packet):
+            flow.cookies.append(hx)
+        if flow.progress is not None:
+            flow.progress.set()
+
+    def _on_shlo(self, flow: _Flow, packet: Packet) -> None:
+        try:
+            message = protocol.decode_handshake_packet(packet)
+            if message is None or message.message_type != HandshakeMessageType.SHLO:
+                return
+            summary = protocol.ShloSummary.from_tags(dict(message.tags))
+        except protocol.ProtocolError:
+            self.stats["undecodable"] += 1
+            return
+        if not flow.shlo.done():
+            flow.shlo.set_result(summary)
+
+    def _on_stream_chunk(
+        self, flow: _Flow, offset: int, data: bytes, fin: bool, now: float
+    ) -> None:
+        if fin:
+            flow.fin_at = offset + len(data)
+        if data and offset + len(data) > flow.contiguous:
+            flow.chunks[offset] = bytes(data)
+        # Advance the contiguous prefix through the demuxer, in order.
+        advanced = True
+        while advanced:
+            advanced = False
+            for chunk_offset in sorted(flow.chunks):
+                chunk = flow.chunks[chunk_offset]
+                if chunk_offset > flow.contiguous:
+                    continue
+                del flow.chunks[chunk_offset]
+                if chunk_offset + len(chunk) <= flow.contiguous:
+                    continue  # pure duplicate
+                fresh = chunk[flow.contiguous - chunk_offset :]
+                flow.contiguous += len(fresh)
+                self._feed(flow, fresh, now)
+                advanced = True
+                break
+
+    def _feed(self, flow: _Flow, data: bytes, now: float) -> None:
+        if not data:
+            return
+        if flow.first_byte_at is None:
+            flow.first_byte_at = now
+        flow.bytes_received += len(data)
+        for tag in flow.demuxer.feed(data):
+            if not tag.is_video:
+                continue
+            flow.frame_times.append(now)
+            if (
+                len(flow.frame_times) == self.playback_threshold
+                and flow.first_frame_at is None
+            ):
+                flow.first_frame_at = now
+
+    # ------------------------------------------------------------------
+    # send side
+
+    def _sendto(self, payload: bytes) -> None:
+        assert self.endpoint is not None
+        self.endpoint.sendto(payload, self.server_addr)
+
+    def _send_packet(self, od_key: str, packet: Packet) -> None:
+        self._sendto(
+            encode_envelope(EnvelopeKind.DATA, od_key.encode("utf-8"), packet.encode())
+        )
+
+    def _connection_id(self, scheme_value: str, planned: PlannedSession) -> bytes:
+        rng = random.Random(
+            f"serve-flow:{self.campaign_seed}:{scheme_value}:"
+            f"{planned.od.od_id}:{planned.session_index}"
+        )
+        return rng.getrandbits(64).to_bytes(8, "big")
+
+    # ------------------------------------------------------------------
+    # one session
+
+    async def run_session(
+        self,
+        planned: PlannedSession,
+        scheme_value: str,
+        od_key: str,
+        stream_name: str,
+        target_video_frames: int,
+    ) -> ServeSessionOutcome:
+        """Run one planned session over the socket; measure like a player."""
+        loop = asyncio.get_running_loop()
+        store_key = f"{scheme_value}|{od_key}"
+        # TTL-prune before echoing so a stale cookie is never sent.
+        self.cookie_store.get(store_key, now=planned.epoch)
+        hqst = WiraClient.build_hqst_tag(self.cookie_store, origin_id=store_key)
+        spec = protocol.ServeSpec(
+            od_key=od_key,
+            stream_name=stream_name,
+            scheme=Scheme(scheme_value),
+            handshake_mode=planned.handshake_mode,
+            epoch=planned.epoch,
+            seed=planned.seed,
+            session_index=planned.session_index,
+            target_video_frames=target_video_frames,
+            conditions=planned.conditions,
+            profile=planned.stream_profile,
+        )
+        connection_id = self._connection_id(scheme_value, planned)
+        flow = _Flow(connection_id=connection_id, shlo=loop.create_future())
+        flow.progress = asyncio.Event()
+        self._flows[connection_id] = flow
+        self.stats["sessions"] += 1
+        self._emit(
+            "serve:session_begin",
+            {"od": od_key, "scheme": scheme_value, "session": planned.session_index},
+        )
+        try:
+            return await self._run_session_inner(
+                loop, flow, planned, scheme_value, od_key, spec, hqst, store_key,
+                target_video_frames,
+            )
+        except WireFailure:
+            self.stats["wire_failures"] += 1
+            raise
+        finally:
+            self._flows.pop(connection_id, None)
+
+    async def _run_session_inner(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        flow: _Flow,
+        planned: PlannedSession,
+        scheme_value: str,
+        od_key: str,
+        spec: protocol.ServeSpec,
+        hqst: bytes,
+        store_key: str,
+        target_video_frames: int,
+    ) -> ServeSessionOutcome:
+        chlo = protocol.build_chlo_packet(flow.connection_id, hqst, spec)
+        summary = await self._handshake(flow, od_key, chlo)
+
+        # Measured phase: anchor, GET, then receive until terminal.
+        flow.anchor = loop.time()
+        get_packet = protocol.build_stream_packet(
+            flow.connection_id,
+            0,
+            protocol.REQUEST_STREAM,
+            0,
+            f"GET /live/{spec.stream_name}.flv\r\n".encode("ascii"),
+            fin=True,
+        )
+        self._send_packet(od_key, get_packet)
+        retransmits = await self._receive_stream(flow, od_key, summary, get_packet)
+
+        done = protocol.build_stream_packet(
+            flow.connection_id, 1, protocol.CONTROL_STREAM, 0, protocol.DONE_MESSAGE
+        )
+        self._send_packet(od_key, done)
+
+        cookie_delivered = False
+        for hx in flow.cookies:
+            if self.cookie_store.on_hx_qos_frame(
+                store_key, hx, now=_cookie_receipt_time(hx, planned.epoch)
+            ):
+                cookie_delivered = True
+
+        metrics = ClientMetrics(
+            request_sent_at=0.0,
+            first_byte_at=_rel(flow.first_byte_at, flow.anchor),
+            first_frame_at=_rel(flow.first_frame_at, flow.anchor),
+            video_frame_times=[t - flow.anchor for t in flow.frame_times],
+            bytes_received=flow.bytes_received,
+            cookies_received=len(flow.cookies),
+        )
+        completed = len(flow.frame_times) >= target_video_frames
+        result = SessionResult(
+            scheme=spec.scheme,
+            handshake_mode=planned.handshake_mode,
+            conditions=planned.conditions,
+            completed=completed,
+            client_metrics=metrics,
+            ff_size_parsed=None,
+            initial_params=None,
+            # The sim leaves ff_server_stats None when no first frame was
+            # delivered; mirror that so fflr excludes the same sessions.
+            ff_server_stats=(
+                None
+                if summary.sim_ffct is None
+                else ConnectionStats(
+                    data_packets_sent=summary.ff_data_packets_sent,
+                    data_packets_lost=summary.ff_data_packets_lost,
+                )
+            ),
+            final_server_stats=ConnectionStats(),
+            cookie_delivered=cookie_delivered,
+            used_cookie=summary.used_cookie,
+        )
+        self._emit(
+            "serve:session_complete",
+            {
+                "od": od_key,
+                "scheme": scheme_value,
+                "session": planned.session_index,
+                "completed": completed,
+                "ffct": metrics.ffct,
+                "sim_ffct": summary.sim_ffct,
+                "shard": summary.shard_id,
+            },
+        )
+        return ServeSessionOutcome(
+            planned=planned,
+            scheme_value=scheme_value,
+            result=result,
+            summary=summary,
+            wall_ffct=metrics.ffct,
+            retransmit_requests=retransmits,
+        )
+
+    async def _handshake(
+        self, flow: _Flow, od_key: str, chlo: Packet
+    ) -> protocol.ShloSummary:
+        """CHLO with retries until the SHLO lands (unmeasured phase)."""
+        for attempt in range(HANDSHAKE_ATTEMPTS):
+            self._send_packet(od_key, chlo)
+            try:
+                # The shard answers only after its sim run; give later
+                # attempts progressively longer.
+                timeout = HANDSHAKE_RETRY * (attempt + 1)
+                return await asyncio.wait_for(asyncio.shield(flow.shlo), timeout)
+            except asyncio.TimeoutError:
+                continue
+        raise WireFailure(f"no SHLO after {HANDSHAKE_ATTEMPTS} attempts for {od_key}")
+
+    async def _receive_stream(
+        self,
+        flow: _Flow,
+        od_key: str,
+        summary: protocol.ShloSummary,
+        get_packet: Packet,
+    ) -> int:
+        """Receive the replayed stream; repair gaps; enforce deadlines."""
+        loop = asyncio.get_running_loop()
+        deadline = flow.anchor + summary.sim_duration + SESSION_GRACE
+        repairs = 0
+        get_resent = False
+        assert flow.progress is not None
+        while True:
+            if self._terminal(flow, summary):
+                return repairs
+            now = loop.time()
+            if now > deadline:
+                if repairs < REPAIR_ATTEMPTS:
+                    repairs += 1
+                    self._request_repair(flow, od_key)
+                    deadline = now + 1.0
+                    continue
+                raise WireFailure(
+                    f"session timed out for {od_key}: "
+                    f"{flow.contiguous}/{summary.stream_length} bytes, "
+                    f"fin={flow.fin_at is not None}, cookies={len(flow.cookies)}"
+                )
+            flow.progress.clear()
+            try:
+                await asyncio.wait_for(flow.progress.wait(), REPAIR_DELAY)
+            except asyncio.TimeoutError:
+                # Stalled: nothing arrived for a repair interval.
+                if flow.first_byte_at is None and not get_resent:
+                    # The GET itself may have been lost.
+                    if loop.time() - flow.anchor > HANDSHAKE_RETRY:
+                        self._send_packet(od_key, get_packet)
+                        get_resent = True
+                    continue
+                if flow.chunks and repairs < REPAIR_ATTEMPTS:
+                    # Out-of-order data is buffered: a gap exists now.
+                    repairs += 1
+                    self._request_repair(flow, od_key)
+
+    def _terminal(self, flow: _Flow, summary: protocol.ShloSummary) -> bool:
+        all_data = (
+            flow.fin_at is not None
+            and flow.contiguous >= summary.stream_length
+        )
+        cookie_ok = not summary.cookie_pushed or bool(flow.cookies)
+        return all_data and cookie_ok
+
+    def _request_repair(self, flow: _Flow, od_key: str) -> None:
+        self.stats["retransmit_requests"] += 1
+        self._emit(
+            "serve:retransmit", {"od": od_key, "from": flow.contiguous}
+        )
+        packet = protocol.build_stream_packet(
+            flow.connection_id,
+            2,
+            protocol.CONTROL_STREAM,
+            0,
+            protocol.build_resend_request(flow.contiguous),
+        )
+        self._send_packet(od_key, packet)
+
+
+def _rel(stamp: Optional[float], anchor: float) -> Optional[float]:
+    return None if stamp is None else stamp - anchor
+
+
+def _cookie_receipt_time(frame: HxQosFrame, fallback: float) -> float:
+    """Scenario-clock receipt time: the sealed frame's own timestamp.
+
+    Cookie freshness lives on the scenario clock (planned epochs), not
+    the wall clock, so the store's TTL and the next echo's timestamp
+    must both be scenario times.  The pushed frame's cleartext timestamp
+    is the seal time — within the session of the true receipt time.
+    """
+    metrics = frame.decoded_metrics()
+    timestamp = metrics.get("timestamp")
+    return float(timestamp) if timestamp is not None else fallback
+
+
+__all__ = [
+    "HANDSHAKE_ATTEMPTS",
+    "HANDSHAKE_RETRY",
+    "ServeDriver",
+    "ServeSessionOutcome",
+    "WireFailure",
+]

@@ -1,0 +1,296 @@
+"""Serve-mode session protocol: messages, spec codec, receive parsing.
+
+The exchange per session, all inside the existing codecs (handshake
+messages ride :class:`~repro.quic.frames.CryptoFrame` in INITIAL
+packets; data and control ride :class:`~repro.quic.frames.StreamFrame`
+in 1-RTT packets; cookies ride :class:`~repro.quic.frames.HxQosFrame`):
+
+1. client → shard  ``CHLO`` carrying the standard ``HQST`` cookie echo
+   (byte-identical to the simulator's tag) plus a serve-only ``WSPC``
+   tag: the planned-session spec as canonical JSON.
+2. shard → client  ``SHLO`` whose tags report the shard's sim outcome
+   (completion, sim FFCT, stream length, FF loss counts, …) — the
+   unmeasured phase ends here.
+3. client → shard  the ``GET`` request on stream 0 — the measured phase
+   anchor; the shard replays the sim's delivery timeline from here.
+4. shard → client  stream-0 data at the sim's offsets, then any pushed
+   Hx_QoS frame, then FIN.  Gap repair uses ``RESEND:<offset>`` on
+   stream 1; the client's final ``DONE`` releases shard state.
+
+Receive-path parsing (:func:`parse_data_payload`) is drop-and-count on
+any malformed datagram, mirroring the simulator's
+``Datagram.corrupted``/undecodable handling in
+:meth:`repro.quic.connection.Connection.datagram_received`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.initializer import Scheme
+from repro.media.source import StreamProfile
+from repro.quic.connection import HandshakeMode
+from repro.quic.frames import CryptoFrame, HxQosFrame, StreamFrame
+from repro.quic.handshake import (
+    TAG_HQST,
+    HandshakeMessage,
+    HandshakeMessageType,
+    HandshakeParseError,
+    chlo,
+)
+from repro.quic.packet import CONNECTION_ID_BYTES, Packet, PacketType
+from repro.quic.varint import decode_varint, encode_varint
+from repro.simnet.path import NetworkConditions
+
+#: Serve-only handshake tags (4 bytes each, like every gQUIC tag).
+TAG_WSPC = b"WSPC"  # CHLO: planned-session spec, canonical JSON
+TAG_CMPL = b"CMPL"  # SHLO: sim session completed (0/1)
+TAG_COKH = b"COKH"  # SHLO: sim accepted the echoed cookie (0/1)
+TAG_COKP = b"COKP"  # SHLO: a sealed cookie will be pushed after data (0/1)
+TAG_SFCT = b"SFCT"  # SHLO: sim FFCT, microseconds (absent if none)
+TAG_SLEN = b"SLEN"  # SHLO: total stream-0 bytes the replay will send
+TAG_SDUR = b"SDUR"  # SHLO: sim timeline duration, milliseconds
+TAG_FFSN = b"FFSN"  # SHLO: data packets sent through first frame (sim)
+TAG_FFSL = b"FFSL"  # SHLO: data packets lost through first frame (sim)
+TAG_NFRM = b"NFRM"  # SHLO: video frames the sim delivered
+TAG_SHRD = b"SHRD"  # SHLO: serving shard id
+
+REQUEST_STREAM = 0
+CONTROL_STREAM = 1
+
+RESEND_PREFIX = b"RESEND:"
+DONE_MESSAGE = b"DONE"
+
+
+class ProtocolError(ValueError):
+    """Raised on serve messages that parse but violate the protocol."""
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """Everything a shard needs to reconstruct one planned session."""
+
+    od_key: str
+    stream_name: str
+    scheme: Scheme
+    handshake_mode: HandshakeMode
+    epoch: float
+    seed: int
+    session_index: int
+    target_video_frames: int
+    conditions: NetworkConditions
+    profile: StreamProfile
+
+    def to_json_bytes(self) -> bytes:
+        payload = {
+            "od": self.od_key,
+            "stream": self.stream_name,
+            "scheme": self.scheme.value,
+            "mode": self.handshake_mode.value,
+            "epoch": self.epoch,
+            "seed": self.seed,
+            "session_index": self.session_index,
+            "frames": self.target_video_frames,
+            "conditions": asdict(self.conditions),
+            "profile": asdict(self.profile),
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+    @classmethod
+    def from_json_bytes(cls, data: bytes) -> "ServeSpec":
+        try:
+            payload = json.loads(data.decode("utf-8"))
+            return cls(
+                od_key=str(payload["od"]),
+                stream_name=str(payload["stream"]),
+                scheme=Scheme(payload["scheme"]),
+                handshake_mode=HandshakeMode(payload["mode"]),
+                epoch=float(payload["epoch"]),
+                seed=int(payload["seed"]),
+                session_index=int(payload["session_index"]),
+                target_video_frames=int(payload["frames"]),
+                conditions=NetworkConditions(**payload["conditions"]),
+                profile=StreamProfile(**payload["profile"]),
+            )
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"malformed WSPC spec: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ShloSummary:
+    """The sim outcome a shard reports before the measured phase."""
+
+    completed: bool
+    used_cookie: bool
+    cookie_pushed: bool
+    sim_ffct: Optional[float]  # seconds
+    stream_length: int
+    sim_duration: float  # seconds
+    ff_data_packets_sent: int
+    ff_data_packets_lost: int
+    frames_delivered: int
+    shard_id: int
+
+    def to_tags(self) -> Dict[bytes, bytes]:
+        tags = {
+            TAG_CMPL: b"\x01" if self.completed else b"\x00",
+            TAG_COKH: b"\x01" if self.used_cookie else b"\x00",
+            TAG_COKP: b"\x01" if self.cookie_pushed else b"\x00",
+            TAG_SLEN: encode_varint(self.stream_length),
+            TAG_SDUR: encode_varint(max(0, int(self.sim_duration * 1e3))),
+            TAG_FFSN: encode_varint(self.ff_data_packets_sent),
+            TAG_FFSL: encode_varint(self.ff_data_packets_lost),
+            TAG_NFRM: encode_varint(self.frames_delivered),
+            TAG_SHRD: encode_varint(self.shard_id),
+        }
+        if self.sim_ffct is not None:
+            tags[TAG_SFCT] = encode_varint(max(0, int(self.sim_ffct * 1e6)))
+        return tags
+
+    @classmethod
+    def from_tags(cls, tags: Dict[bytes, bytes]) -> "ShloSummary":
+        try:
+            sim_ffct = None
+            if TAG_SFCT in tags:
+                sim_ffct = decode_varint(tags[TAG_SFCT])[0] / 1e6
+            return cls(
+                completed=tags[TAG_CMPL] == b"\x01",
+                used_cookie=tags[TAG_COKH] == b"\x01",
+                cookie_pushed=tags[TAG_COKP] == b"\x01",
+                sim_ffct=sim_ffct,
+                stream_length=decode_varint(tags[TAG_SLEN])[0],
+                sim_duration=decode_varint(tags[TAG_SDUR])[0] / 1e3,
+                ff_data_packets_sent=decode_varint(tags[TAG_FFSN])[0],
+                ff_data_packets_lost=decode_varint(tags[TAG_FFSL])[0],
+                frames_delivered=decode_varint(tags[TAG_NFRM])[0],
+                shard_id=decode_varint(tags[TAG_SHRD])[0],
+            )
+        except (KeyError, ValueError) as exc:
+            raise ProtocolError(f"malformed SHLO summary: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Packet builders
+
+
+def build_chlo_packet(connection_id: bytes, hqst_tag: bytes, spec: ServeSpec) -> Packet:
+    message = chlo(full=True, extra_tags={TAG_HQST: hqst_tag, TAG_WSPC: spec.to_json_bytes()})
+    return Packet(
+        PacketType.INITIAL,
+        connection_id,
+        0,
+        (CryptoFrame(offset=0, data=message.encode()),),
+    )
+
+
+def build_shlo_packet(
+    connection_id: bytes, packet_number: int, summary: ShloSummary
+) -> Packet:
+    message = HandshakeMessage(HandshakeMessageType.SHLO, summary.to_tags())
+    return Packet(
+        PacketType.HANDSHAKE,
+        connection_id,
+        packet_number,
+        (CryptoFrame(offset=0, data=message.encode()),),
+    )
+
+
+def build_stream_packet(
+    connection_id: bytes,
+    packet_number: int,
+    stream_id: int,
+    offset: int,
+    data: bytes,
+    fin: bool = False,
+) -> Packet:
+    return Packet(
+        PacketType.ONE_RTT,
+        connection_id,
+        packet_number,
+        (StreamFrame(stream_id=stream_id, offset=offset, data=data, fin=fin),),
+    )
+
+
+def build_hx_qos_packet(
+    connection_id: bytes, packet_number: int, frame: HxQosFrame
+) -> Packet:
+    return Packet(PacketType.ONE_RTT, connection_id, packet_number, (frame,))
+
+
+def build_resend_request(offset: int) -> bytes:
+    return RESEND_PREFIX + encode_varint(offset)
+
+
+def parse_resend_request(data: bytes) -> int:
+    if not data.startswith(RESEND_PREFIX):
+        raise ProtocolError("not a RESEND control message")
+    try:
+        offset, end = decode_varint(data, len(RESEND_PREFIX))
+    except ValueError as exc:
+        raise ProtocolError(f"malformed RESEND offset: {exc}") from exc
+    if end != len(data):
+        raise ProtocolError("trailing bytes after RESEND offset")
+    return offset
+
+
+# ----------------------------------------------------------------------
+# Receive-path parsing
+
+
+def decode_handshake_packet(
+    packet: Packet,
+) -> Optional[HandshakeMessage]:
+    """The handshake message of an INITIAL/HANDSHAKE packet, if any."""
+    if packet.packet_type not in (PacketType.INITIAL, PacketType.HANDSHAKE):
+        return None
+    for frame in packet.frames:
+        if isinstance(frame, CryptoFrame):
+            try:
+                return HandshakeMessage.decode(frame.data)
+            except HandshakeParseError as exc:
+                raise ProtocolError(f"bad crypto payload: {exc}") from exc
+    return None
+
+
+def parse_data_payload(payload: bytes) -> Packet:
+    """Decode a DATA envelope payload, strictly.
+
+    Raises ``ValueError`` (via the underlying codecs) on anything
+    malformed — callers drop the datagram and bump a counter, exactly
+    the simulator's corrupted/undecodable discipline.
+    """
+    if len(payload) < 1 + CONNECTION_ID_BYTES + 1:
+        raise ProtocolError("payload too short for a packet")
+    return Packet.decode(payload)
+
+
+def stream_frames(packet: Packet) -> Tuple[StreamFrame, ...]:
+    return tuple(f for f in packet.frames if isinstance(f, StreamFrame))
+
+
+def hx_qos_frames(packet: Packet) -> Tuple[HxQosFrame, ...]:
+    return tuple(f for f in packet.frames if isinstance(f, HxQosFrame))
+
+
+__all__ = [
+    "CONTROL_STREAM",
+    "DONE_MESSAGE",
+    "ProtocolError",
+    "REQUEST_STREAM",
+    "RESEND_PREFIX",
+    "ServeSpec",
+    "ShloSummary",
+    "TAG_WSPC",
+    "build_chlo_packet",
+    "build_hx_qos_packet",
+    "build_resend_request",
+    "build_shlo_packet",
+    "build_stream_packet",
+    "decode_handshake_packet",
+    "hx_qos_frames",
+    "parse_data_payload",
+    "parse_resend_request",
+    "stream_frames",
+]

@@ -1,0 +1,72 @@
+"""Thin asyncio UDP endpoint helpers shared by shard, router, driver."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Callable, Optional, Tuple
+
+Address = Tuple[str, int]
+DatagramHandler = Callable[[bytes, Address], None]
+
+#: Socket receive buffer request.  Replayed media bursts can land many
+#: 30 KB datagrams back-to-back; the kernel default (often 212 KB) drops
+#: under a 10k-session load.  Best effort — the kernel may clamp it.
+RCVBUF_BYTES = 8 * 1024 * 1024
+
+
+class UdpEndpoint(asyncio.DatagramProtocol):
+    """One bound UDP socket dispatching datagrams to a handler."""
+
+    def __init__(self, handler: DatagramHandler) -> None:
+        self._handler = handler
+        self.transport: Optional[asyncio.DatagramTransport] = None
+        self.dropped_errors = 0
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        # Not isinstance-checked: CPython's selector datagram transport
+        # does not inherit asyncio.DatagramTransport.
+        self.transport = transport  # type: ignore[assignment]
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        self._handler(data, addr)
+
+    def error_received(self, exc: Exception) -> None:
+        # ICMP unreachable etc. — count, keep serving.
+        self.dropped_errors += 1
+
+    @property
+    def address(self) -> Address:
+        assert self.transport is not None
+        host, port = self.transport.get_extra_info("sockname")[:2]
+        return str(host), int(port)
+
+    def sendto(self, data: bytes, addr: Address) -> None:
+        assert self.transport is not None
+        self.transport.sendto(data, addr)
+
+    def close(self) -> None:
+        if self.transport is not None:
+            self.transport.close()
+
+
+async def open_endpoint(
+    handler: DatagramHandler, host: str = "127.0.0.1", port: int = 0
+) -> UdpEndpoint:
+    """Bind a UDP socket (port 0 = ephemeral) with a boosted rcvbuf."""
+    loop = asyncio.get_running_loop()
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, RCVBUF_BYTES)
+    except OSError:
+        pass
+    sock.bind((host, port))
+    sock.setblocking(False)
+    _, protocol = await loop.create_datagram_endpoint(
+        lambda: UdpEndpoint(handler), sock=sock
+    )
+    assert isinstance(protocol, UdpEndpoint)
+    return protocol
+
+
+__all__ = ["Address", "DatagramHandler", "RCVBUF_BYTES", "UdpEndpoint", "open_endpoint"]

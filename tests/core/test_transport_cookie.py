@@ -224,3 +224,147 @@ class TestServerCookieManager:
         manager = ServerCookieManager(KEY)
         assert manager.open_echoed(blob, now=100.0) is None
         assert manager.rejected_cookies == 1
+
+
+class TestNonceSalting:
+    """Regression: N managers sharing one key must not share nonces."""
+
+    def test_unsalted_managers_collide_on_nonce(self):
+        """The two-time-pad hazard the instance salt exists to prevent:
+        without salts, two managers' first blobs carry the same nonce."""
+        a = ServerCookieManager(KEY).build_frame(HxQos(0.05, 8e6, 1.0))
+        b = ServerCookieManager(KEY).build_frame(HxQos(0.09, 2e6, 2.0))
+        nonce_a = a.decoded_metrics()["sealed"][:12]
+        nonce_b = b.decoded_metrics()["sealed"][:12]
+        assert nonce_a == nonce_b
+
+    def test_salted_managers_never_collide(self):
+        """Same key, same counter values, different salts → disjoint
+        nonce sequences across every pair of shard managers."""
+        managers = [
+            ServerCookieManager(KEY, instance_salt=b"shard:%d" % i) for i in range(4)
+        ]
+        nonces = set()
+        for manager in managers:
+            for step in range(8):
+                frame = manager.build_frame(HxQos(0.05, 8e6, float(step)))
+                nonce = frame.decoded_metrics()["sealed"][:12]
+                assert nonce not in nonces
+                nonces.add(nonce)
+        assert len(nonces) == 4 * 8
+
+    def test_cross_shard_open(self):
+        """Salting namespaces only nonce derivation: a cookie sealed by
+        one salted shard opens on any other shard holding the key."""
+        sealer_shard = ServerCookieManager(KEY, instance_salt=b"shard:0")
+        opener_shard = ServerCookieManager(KEY, instance_salt=b"shard:1")
+        frame = sealer_shard.build_frame(HxQos(0.05, 8e6, timestamp=100.0))
+        sealed = frame.decoded_metrics()["sealed"]
+        recovered = opener_shard.open_echoed(sealed, now=150.0)
+        assert recovered is not None
+        assert recovered.min_rtt == pytest.approx(0.05)
+
+    def test_default_salt_preserves_legacy_bytes(self):
+        """The default empty salt must reproduce the pre-salt blobs, so
+        existing sealed cookies and recorded traces stay valid."""
+        legacy = CookieSealer(KEY).seal(b"payload", nonce_seed=7)
+        salted_default = CookieSealer(KEY).seal(b"payload", nonce_seed=7, salt=b"")
+        assert legacy == salted_default
+
+
+class TestBoundedClientStore:
+    """Regression: the client store must hold bounded state."""
+
+    def test_capacity_eviction_is_insertion_ordered(self):
+        evicted = []
+        store = ClientCookieStore(max_entries=3, on_evict=lambda o, r: evicted.append((o, r)))
+        for i in range(5):
+            store.update(f"origin-{i}", b"blob", float(i))
+        assert store.origins() == ("origin-2", "origin-3", "origin-4")
+        assert evicted == [("origin-0", "capacity"), ("origin-1", "capacity")]
+        assert store.evicted_capacity == 2
+        assert store.evictions == 2
+
+    def test_refresh_moves_origin_to_back(self):
+        store = ClientCookieStore(max_entries=3)
+        for i in range(3):
+            store.update(f"origin-{i}", b"blob", float(i))
+        store.update("origin-0", b"fresh", 3.0)  # refresh: now most recent
+        store.update("origin-3", b"blob", 4.0)  # evicts origin-1, not origin-0
+        assert store.origins() == ("origin-2", "origin-0", "origin-3")
+        assert store.get("origin-0") == (b"fresh", 3.0)
+        assert store.get("origin-1") is None
+
+    def test_ttl_eviction_on_update(self):
+        evicted = []
+        store = ClientCookieStore(ttl=10.0, on_evict=lambda o, r: evicted.append((o, r)))
+        store.update("old", b"blob", 0.0)
+        store.update("young", b"blob", 95.0)
+        store.update("new", b"blob", 100.0)  # expires "old" (age 100 > 10)
+        assert store.get("old") is None
+        assert store.get("young") is not None
+        assert evicted == [("old", "ttl")]
+        assert store.evicted_ttl == 1
+
+    def test_get_with_now_applies_ttl(self):
+        store = ClientCookieStore(ttl=10.0)
+        store.update("cdn", b"blob", 0.0)
+        assert store.get("cdn", now=10.0) is not None  # exactly at ttl: kept
+        assert store.get("cdn", now=10.5) is None
+        assert store.evicted_ttl == 1
+
+    def test_get_without_now_skips_ttl(self):
+        store = ClientCookieStore(ttl=10.0)
+        store.update("cdn", b"blob", 0.0)
+        assert store.get("cdn") is not None
+
+    def test_on_hx_qos_frame_refreshes_recency(self):
+        manager = ServerCookieManager(KEY)
+        store = ClientCookieStore(max_entries=2)
+        store.update("a", b"blob", 0.0)
+        store.update("b", b"blob", 1.0)
+        frame = manager.build_frame(HxQos(0.05, 8e6, 2.0))
+        assert store.on_hx_qos_frame("a", frame, now=2.0)  # refresh "a"
+        store.update("c", b"blob", 3.0)  # capacity evicts "b", not "a"
+        assert store.origins() == ("a", "c")
+
+    def test_eviction_sequence_is_deterministic(self):
+        def run():
+            order = []
+            store = ClientCookieStore(
+                max_entries=4, ttl=50.0, on_evict=lambda o, r: order.append((o, r))
+            )
+            for i in range(12):
+                store.update(f"o-{i % 6}", b"blob", float(i * 10))
+            return order
+
+        assert run() == run()
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            ClientCookieStore(max_entries=0)
+        with pytest.raises(ValueError):
+            ClientCookieStore(ttl=0.0)
+
+
+class TestEncodeHqstValidation:
+    """Regression: a receipt time without a frame must be an error, not
+    silently dropped from the wire."""
+
+    def test_neither(self):
+        assert decode_hqst(encode_hqst(True)) == (True, None, None)
+
+    def test_both(self):
+        assert decode_hqst(encode_hqst(True, 7_000, b"blob")) == (True, 7_000, b"blob")
+
+    def test_frame_without_timestamp(self):
+        supported, ts, sealed = decode_hqst(encode_hqst(True, None, b"blob"))
+        assert (supported, ts, sealed) == (True, 0, b"blob")
+
+    def test_timestamp_without_frame_raises(self):
+        with pytest.raises(ValueError, match="received_at_ms"):
+            encode_hqst(True, 7_000, None)
+
+    def test_timestamp_without_frame_raises_even_unsupported(self):
+        with pytest.raises(ValueError, match="received_at_ms"):
+            encode_hqst(False, 7_000, None)

@@ -89,3 +89,53 @@ def test_concatenated_varints_parse_in_sequence(values):
         value, offset = decode_varint(blob, offset)
         decoded.append(value)
     assert decoded == values
+
+
+# ----------------------------------------------------------------------
+# Non-canonical (non-shortest) encodings.  RFC 9000 §16 permits encoders
+# to use any length the value fits in; decoders must accept all of them.
+# The serve-mode wire path round-trips values through encode(decode(b)),
+# so re-encoding must be canonical (shortest) without changing the value.
+
+_PREFIX_FOR_LENGTH = {1: 0x00, 2: 0x40, 4: 0x80, 8: 0xC0}
+
+
+def _encode_with_length(value: int, length: int) -> bytes:
+    assert value < 1 << (6 + 8 * (length - 1))
+    raw = value.to_bytes(length, "big")
+    return bytes([raw[0] | _PREFIX_FOR_LENGTH[length]]) + raw[1:]
+
+
+@pytest.mark.parametrize("length", [2, 4, 8])
+def test_decode_accepts_non_shortest_encoding(length):
+    encoded = _encode_with_length(37, length)
+    assert len(encoded) == length
+    assert decode_varint(encoded) == (37, length)
+
+
+@given(
+    st.integers(min_value=0, max_value=MAX_VARINT),
+    st.sampled_from([1, 2, 4, 8]),
+)
+def test_decode_accepts_any_admissible_length(value, length):
+    if value >= 1 << (6 + 8 * (length - 1)):
+        return  # value does not fit this length; nothing to assert
+    encoded = _encode_with_length(value, length)
+    decoded, offset = decode_varint(encoded)
+    assert decoded == value
+    assert offset == length
+
+
+@given(
+    st.integers(min_value=0, max_value=MAX_VARINT),
+    st.sampled_from([1, 2, 4, 8]),
+)
+def test_reencode_canonicalizes(value, length):
+    """encode(decode(b)) is the canonical form: same value, minimal size."""
+    if value >= 1 << (6 + 8 * (length - 1)):
+        return
+    non_canonical = _encode_with_length(value, length)
+    reencoded = encode_varint(decode_varint(non_canonical)[0])
+    assert decode_varint(reencoded)[0] == value
+    assert len(reencoded) == varint_size(value)
+    assert len(reencoded) <= len(non_canonical)

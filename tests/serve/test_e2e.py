@@ -1,0 +1,124 @@
+"""End-to-end serve tests: real UDP sockets, sim as the timing oracle.
+
+Kept deliberately small (few OD pairs, few frames) so the whole module
+stays well under a minute; the CI ``serve-smoke`` job runs the larger
+campaign through ``tools/wira_serve``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve.driver import ServeDriver
+from repro.serve.loadtest import ServeLoadtestConfig, run_loadtest
+from repro.serve.shard import ShardServer
+from repro.workload.population import DeploymentConfig, FleetPopulation
+
+#: In-process replay error is ~1ms; give loaded CI two orders of slack.
+SINGLE_SESSION_FFCT_SLACK = 0.10  # seconds
+
+
+def _population(n_od_pairs: int, seed: int = 0) -> DeploymentConfig:
+    return DeploymentConfig(
+        n_od_pairs=n_od_pairs,
+        mean_extra_sessions=1.0,
+        max_sessions_per_od=3,
+        video_frames_per_session=4,
+        seed=seed,
+    )
+
+
+class TestSingleSession:
+    def test_wall_ffct_tracks_sim_ffct(self):
+        asyncio.run(self._run())
+
+    async def _run(self):
+        config = ServeLoadtestConfig(population=_population(1))
+        shard = ShardServer(
+            shard_id=0,
+            cookie_key=config.cookie_key(),
+            instance_salt=config.shard_salt(0),
+            wira_config=config.wira,
+        )
+        addr = await shard.start()
+        driver = ServeDriver(addr, campaign_seed=0)
+        await driver.start()
+        try:
+            planned = FleetPopulation(config.population).chain(0)[0]
+            outcome = await driver.run_session(
+                planned, "wira", "od-0", "stream-0", 4
+            )
+            assert outcome.summary.sim_ffct is not None
+            assert outcome.result.ffct is not None
+            assert outcome.wall_ffct == pytest.approx(
+                outcome.summary.sim_ffct, abs=SINGLE_SESSION_FFCT_SLACK
+            )
+            # The SessionResult carries the socket measurement — the
+            # campaign FFCT gate compares these against the sim within
+            # the documented tolerance, so they must be the wall value.
+            assert outcome.result.ffct == pytest.approx(outcome.wall_ffct)
+            assert driver.stats["wire_failures"] == 0
+        finally:
+            driver.close()
+            await shard.close()
+
+
+class TestInProcessCampaign:
+    def test_gates_pass_with_exact_discrete_parity(self):
+        config = ServeLoadtestConfig(
+            population=_population(4, seed=1),
+            shards=2,
+            subprocess_shards=False,
+        )
+        results = run_loadtest(config)
+        gates = results["gates"]
+        assert gates["wire_failures"] == 0
+        assert gates["rejected_cookies"] == 0
+        assert gates["comparison_ok"], results["comparison"]
+        assert gates["ok"]
+        comparison = results["comparison"]
+        for value in config.schemes:
+            entry = comparison["schemes"][value]
+            assert entry["serve"]["sessions"] == entry["sim"]["sessions"]
+            assert entry["serve"]["completed"] == entry["sim"]["completed"]
+            assert (
+                entry["serve"]["cookie_delivered"]
+                == entry["sim"]["cookie_delivered"]
+            )
+            assert entry["serve"]["used_cookie"] == entry["sim"]["used_cookie"]
+
+    def test_reshard_keeps_sessions_sticky(self):
+        """Adding a shard mid-campaign must not disturb in-flight or
+        subsequent sessions: affinity pins each OD chain, so the gates
+        (including exact cookie-chain parity) still pass."""
+        config = ServeLoadtestConfig(
+            population=_population(5, seed=2),
+            shards=2,
+            subprocess_shards=False,
+            reshard_after_chains=1,
+            concurrency=2,
+        )
+        results = run_loadtest(config)
+        telemetry = results["telemetry"]
+        assert telemetry["resharded"]
+        assert telemetry["shard_count_final"] == 3
+        assert telemetry["router"]["reshards"] == 1
+        assert results["gates"]["ok"], results["comparison"]
+
+
+class TestSubprocessShards:
+    def test_worker_process_smoke(self):
+        """Two real ``python -m repro.serve.shard`` worker processes."""
+        config = ServeLoadtestConfig(
+            population=_population(2, seed=3),
+            shards=2,
+            subprocess_shards=True,
+        )
+        results = run_loadtest(config)
+        assert results["gates"]["ok"], results["comparison"]
+        telemetry = results["telemetry"]
+        assert telemetry["sessions_measured"] > 0
+        # Both workers were real processes reachable over the wire.
+        assert len(telemetry["shards"]) == 2
+        for stats in telemetry["shards"]:
+            assert stats["op"] == "stats"

@@ -1,0 +1,80 @@
+"""Tests for the consistent-hash ring."""
+
+import pytest
+
+from repro.serve.ring import HashRing, moved_fraction
+
+KEYS = [f"od-{i}" for i in range(2000)]
+
+
+class TestBasics:
+    def test_empty_ring_has_no_owner(self):
+        with pytest.raises(ValueError):
+            HashRing().node_for("od-1")
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.node_for(k) == "only" for k in KEYS[:50])
+
+    def test_deterministic_assignment(self):
+        a = HashRing(["s0", "s1", "s2"])
+        b = HashRing(["s2", "s0", "s1"])  # construction order irrelevant
+        assert [a.node_for(k) for k in KEYS] == [b.node_for(k) for k in KEYS]
+
+    def test_duplicate_node_rejected(self):
+        ring = HashRing(["s0"])
+        with pytest.raises(ValueError):
+            ring.add_node("s0")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(["s0"]).remove_node("s1")
+
+    def test_all_nodes_get_keys(self):
+        ring = HashRing([f"s{i}" for i in range(4)])
+        owners = {ring.node_for(k) for k in KEYS}
+        assert owners == {f"s{i}" for i in range(4)}
+
+
+class TestBoundedMovement:
+    def test_add_moves_bounded_fraction(self):
+        """Adding a node to an n-node ring moves ~1/(n+1) of the keys —
+        the consistent-hashing contract a mod-N router would break
+        (mod-N moves ~n/(n+1))."""
+        before = HashRing([f"s{i}" for i in range(4)])
+        after = before.with_node("s4")
+        moved = moved_fraction(before, after, KEYS)
+        assert moved <= 2.0 / 5.0  # ring bound with headroom, far below mod-N's 0.8
+        assert moved > 0.0
+
+    def test_remove_moves_only_departed_nodes_keys(self):
+        before = HashRing([f"s{i}" for i in range(5)])
+        after = before.without_node("s4")
+        for key in KEYS:
+            if before.node_for(key) != "s4":
+                assert after.node_for(key) == before.node_for(key)
+
+    def test_add_never_moves_between_surviving_nodes(self):
+        """Keys only move TO the new node, never between old nodes."""
+        before = HashRing([f"s{i}" for i in range(4)])
+        after = before.with_node("s4")
+        for key in KEYS:
+            if after.node_for(key) != "s4":
+                assert after.node_for(key) == before.node_for(key)
+
+    def test_spread_is_roughly_even(self):
+        ring = HashRing([f"s{i}" for i in range(4)])
+        counts = {}
+        for key in KEYS:
+            owner = ring.node_for(key)
+            counts[owner] = counts.get(owner, 0) + 1
+        for owner, count in counts.items():
+            # 64 virtual nodes per shard keeps imbalance modest.
+            assert count > len(KEYS) / 4 * 0.5, (owner, counts)
+            assert count < len(KEYS) / 4 * 1.8, (owner, counts)
+
+    def test_with_without_are_non_destructive(self):
+        ring = HashRing(["s0", "s1"])
+        ring.with_node("s2")
+        ring.without_node("s1")
+        assert ring.nodes == ("s0", "s1")

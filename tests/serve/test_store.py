@@ -1,0 +1,142 @@
+"""Tests for the bounded keyed store and the sharded cookie store."""
+
+import pytest
+
+from repro.serve.ring import HashRing, moved_fraction
+from repro.serve.store import BoundedKeyedStore, ShardedCookieStore
+
+
+class TestBoundedKeyedStore:
+    def test_capacity_evicts_front_in_insertion_order(self):
+        evicted = []
+        store = BoundedKeyedStore(
+            max_entries=2, on_evict=lambda k, r: evicted.append((k, r))
+        )
+        store.put("a", 1, 0.0)
+        store.put("b", 2, 1.0)
+        store.put("c", 3, 2.0)
+        assert store.keys() == ("b", "c")
+        assert evicted == [("a", "capacity")]
+        assert store.evicted_capacity == 1
+
+    def test_put_refreshes_recency(self):
+        store = BoundedKeyedStore(max_entries=2)
+        store.put("a", 1, 0.0)
+        store.put("b", 2, 1.0)
+        store.put("a", 10, 2.0)  # refresh: "a" moves to the back
+        store.put("c", 3, 3.0)  # evicts "b"
+        assert store.keys() == ("a", "c")
+        assert store.get("a") == 10
+
+    def test_ttl_expiry(self):
+        store = BoundedKeyedStore(ttl=5.0)
+        store.put("a", 1, 0.0)
+        store.put("b", 2, 4.0)
+        assert store.get("a", now=5.0) == 1  # exactly at ttl: kept
+        assert store.get("a", now=5.5) is None
+        assert store.get("b", now=5.5) == 2
+        assert store.evicted_ttl == 1
+
+    def test_touch_refreshes_stamp_without_value_change(self):
+        store = BoundedKeyedStore(ttl=5.0)
+        store.put("a", 1, 0.0)
+        assert store.touch("a", 4.0)
+        assert store.get("a", now=8.0) == 1  # age measured from the touch
+        assert not store.touch("missing", 0.0)
+
+    def test_eviction_sequence_deterministic(self):
+        def run():
+            order = []
+            store = BoundedKeyedStore(
+                max_entries=3, ttl=25.0, on_evict=lambda k, r: order.append((k, r))
+            )
+            for i in range(20):
+                store.put(f"k-{i % 7}", i, float(i * 3))
+            return order
+
+        assert run() == run()
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedKeyedStore(max_entries=0)
+        with pytest.raises(ValueError):
+            BoundedKeyedStore(ttl=-1.0)
+
+
+class TestShardedCookieStore:
+    KEYS = [f"od-{i}" for i in range(600)]
+
+    def _loaded_store(self, nodes):
+        ring = HashRing(nodes)
+        store = ShardedCookieStore(ring)
+        for i, key in enumerate(self.KEYS):
+            store.put(key, f"cookie-{i}", float(i))
+        return ring, store
+
+    def test_routes_by_ring(self):
+        ring, store = self._loaded_store(["s0", "s1", "s2"])
+        for key in self.KEYS:
+            assert store.get(key) is not None
+            assert key in store.shards[ring.node_for(key)]
+
+    def test_reshard_add_moves_ring_bounded_fraction(self):
+        """Adding a shard moves only the consistent-hash fraction of
+        entries — every entry survives, none duplicated."""
+        ring, store = self._loaded_store(["s0", "s1", "s2"])
+        new_ring = ring.with_node("s3")
+        moved = store.reshard(new_ring)
+        assert moved == sum(
+            1 for k in self.KEYS if ring.node_for(k) != new_ring.node_for(k)
+        )
+        assert moved / len(self.KEYS) <= 2.0 / 4.0  # bound with headroom
+        assert moved / len(self.KEYS) == pytest.approx(
+            moved_fraction(ring, new_ring, self.KEYS)
+        )
+        assert len(store) == len(self.KEYS)
+        for key in self.KEYS:
+            assert store.get(key) is not None
+            assert key in store.shards[new_ring.node_for(key)]
+
+    def test_reshard_remove_relocates_departed_shards_entries(self):
+        ring, store = self._loaded_store(["s0", "s1", "s2"])
+        departed = [k for k in self.KEYS if ring.node_for(k) == "s2"]
+        new_ring = ring.without_node("s2")
+        moved = store.reshard(new_ring)
+        assert moved == len(departed)
+        assert "s2" not in store.shards
+        assert len(store) == len(self.KEYS)
+        for key in self.KEYS:
+            assert store.get(key) is not None
+
+    def test_reshard_preserves_stamps(self):
+        ring, store = self._loaded_store(["s0", "s1"])
+        new_ring = ring.with_node("s2")
+        store.reshard(new_ring)
+        stamps = {
+            key: stamp
+            for shard in store.shards.values()
+            for key, _, stamp in shard.items()
+        }
+        for i, key in enumerate(self.KEYS):
+            assert stamps[key] == float(i)
+
+    def test_reshard_is_deterministic(self):
+        def run():
+            ring, store = self._loaded_store(["s0", "s1", "s2"])
+            store.reshard(ring.with_node("s3"))
+            return {
+                node: store.shards[node].keys() for node in sorted(store.shards)
+            }
+
+        assert run() == run()
+
+    def test_double_reshard_returns_home(self):
+        """add then remove the same shard: every entry is back where it
+        started, and the per-direction movement matched the ring."""
+        ring, store = self._loaded_store(["s0", "s1", "s2"])
+        out = store.reshard(ring.with_node("s3"))
+        back = store.reshard(ring)
+        assert out == back
+        assert store.moved_on_reshard == out + back
+        for key in self.KEYS:
+            assert key in store.shards[ring.node_for(key)]

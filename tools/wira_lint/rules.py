@@ -24,7 +24,7 @@ from typing import Optional, Tuple
 
 #: Bump when rule semantics change in a way that must invalidate cached
 #: per-file facts (the fact cache keys on this).
-RULES_FINGERPRINT = "wira-lint-rules-v8"
+RULES_FINGERPRINT = "wira-lint-rules-v9"
 
 #: Simulation zone: code that must be bit-exact deterministic.  These are
 #: the packages replayed under the content-hash disk cache; one wall-clock
@@ -46,6 +46,10 @@ REPLAY_ZONE: Tuple[str, ...] = SIM_ZONE + (
     "src/repro/cdn",
     "src/repro/media",
 )
+# ``src/repro/serve`` is deliberately NOT in the replay zone: service
+# mode runs sessions over real UDP sockets on the asyncio loop, so wall
+# clocks and socket timing are its whole job (see CONTRIBUTING.md,
+# "Wall-clock territory").  It still sits in TYPED_ZONE below.
 
 #: Typed zone: packages under the mypy ``disallow_untyped_defs`` contract
 #: (WL006 mirrors it so the contract is enforced even where mypy is not
@@ -57,7 +61,9 @@ TYPED_ZONE: Tuple[str, ...] = (
     "src/repro/fleet",
     "src/repro/runtime",
     "src/repro/cdn/batchrun",
+    "src/repro/serve",
     "tools/wira_fleet",
+    "tools/wira_serve",
 )
 
 #: Whole-package zone for the style/structure rules.

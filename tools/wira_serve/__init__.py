@@ -1,0 +1,1 @@
+"""wira-serve: serve-mode load-test CLI (real sockets, sharded edge)."""

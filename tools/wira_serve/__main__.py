@@ -1,0 +1,8 @@
+"""Entry point for ``python -m tools.wira_serve``."""
+
+import sys
+
+from tools.wira_serve.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())
