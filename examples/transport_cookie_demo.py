@@ -19,7 +19,7 @@ Usage::
 """
 
 from repro.core.config import WiraConfig
-from repro.core.initializer import Scheme, compute_initial_params
+from repro.core.schemes import InitContext, make_policy
 from repro.core.transport_cookie import (
     ClientCookieStore,
     HxQos,
@@ -57,7 +57,8 @@ def main() -> None:
     print(f"[server] cookie authenticated: MinRTT={hx.min_rtt * 1000:.0f}ms, "
           f"MaxBW={hx.max_bw_bps / 1e6:.1f}Mbps (BDP={hx.bdp_bytes:,}B)")
 
-    params = compute_initial_params(Scheme.WIRA, config, ff_size=66_000, hx_qos=hx)
+    wira = make_policy("wira")
+    params = wira.initial_params(InitContext(config=config, ff_size=66_000, hx_qos=hx))
     print(f"[server] Wira init: cwnd={params.cwnd_bytes:,}B "
           f"(min{{FF, BDP}}), pacing={params.pacing_bps / 1e6:.1f}Mbps (=MaxBW)\n")
 
@@ -76,7 +77,7 @@ def main() -> None:
     print(f"[server] cookie older than Δ={config.staleness_delta / 60:.0f}min "
           "rejected as stale -> corner case 2 (FF-based fallback)")
 
-    fallback = compute_initial_params(Scheme.WIRA, config, ff_size=66_000, hx_qos=None)
+    fallback = wira.initial_params(InitContext(config=config, ff_size=66_000, hx_qos=None))
     print(f"[server] fallback init: cwnd={fallback.cwnd_bytes:,}B (FF_Size), "
           f"pacing={fallback.pacing_bps / 1e6:.1f}Mbps (FF/init_RTT_exp)")
 

@@ -22,7 +22,8 @@ from repro import obs as _obs
 from repro.cdn.origin import Origin
 from repro.core.config import WiraConfig
 from repro.core.frame_perception import FrameParser
-from repro.core.initializer import InitialParams, Scheme, compute_initial_params
+from repro.core.initializer import InitialParams
+from repro.core.schemes import InitContext, InitPolicy, SchemeLike, as_spec, make_policy
 from repro.core.transport_cookie import (
     HxQos,
     ServerCookieManager,
@@ -55,7 +56,7 @@ class WiraServer:
         loop: EventLoop,
         connection: Connection,
         origin: Origin,
-        scheme: Scheme,
+        scheme: SchemeLike,
         wira_config: Optional[WiraConfig] = None,
         cookie_manager: Optional[ServerCookieManager] = None,
         clock_offset: float = 0.0,
@@ -63,11 +64,17 @@ class WiraServer:
         initial_params_override: Optional[InitialParams] = None,
         ff_size_fault: Optional[int] = None,
         on_ff_size_fault: Optional[Callable[[int], None]] = None,
+        init_policy: Optional[InitPolicy] = None,
     ) -> None:
         self.loop = loop
         self.connection = connection
         self.origin = origin
-        self.scheme = scheme
+        self.scheme = as_spec(scheme)
+        #: The scheme's behaviour.  Callers running a session *chain*
+        #: pass the chain's shared (possibly stateful) policy so online
+        #: schemes can learn across sessions; a fresh stateless instance
+        #: is built otherwise.
+        self.policy = init_policy if init_policy is not None else make_policy(scheme)
         self.config = wira_config or WiraConfig()
         self.cookie_manager = cookie_manager
         self.clock_offset = clock_offset
@@ -232,12 +239,13 @@ class WiraServer:
             return  # still provisional, no new signal
         if state.initial_params is not None:
             state.reinitialized = True
-        params = compute_initial_params(
-            self.scheme,
-            self.config,
-            ff_size=state.ff_size,
-            hx_qos=state.hx_qos,
-            measured_rtt=state.measured_rtt,
+        params = self.policy.initial_params(
+            InitContext(
+                config=self.config,
+                ff_size=state.ff_size,
+                hx_qos=state.hx_qos,
+                measured_rtt=state.measured_rtt,
+            )
         )
         state.initial_params = params
         self.connection.cc.set_initial_window(params.cwnd_bytes)

@@ -30,6 +30,7 @@ from repro.cdn.playback import PlaybackPolicy, FIRST_VIDEO_FRAME
 from repro.cdn.server import WiraServer
 from repro.core.config import WiraConfig
 from repro.core.initializer import InitialParams, Scheme
+from repro.core.schemes import InitPolicy, SchemeLike, SchemeSpec, as_spec, make_policy
 from repro.core.transport_cookie import ClientCookieStore, ServerCookieManager
 from repro.faults import FaultInjector, FaultPlan
 from repro.quic.config import QuicConfig
@@ -60,7 +61,7 @@ class SessionSpec:
     """
 
     conditions: NetworkConditions
-    scheme: Scheme
+    scheme: SchemeLike
     handshake_mode: HandshakeMode = HandshakeMode.ZERO_RTT
     epoch: float = 0.0
     seed: int = 0
@@ -84,7 +85,7 @@ class SessionSpec:
 class SessionResult:
     """Everything one session contributes to the evaluation."""
 
-    scheme: Scheme
+    scheme: SchemeLike
     handshake_mode: HandshakeMode
     conditions: NetworkConditions
     completed: bool
@@ -220,6 +221,7 @@ class StreamingSession:
         cookie_manager: Optional[ServerCookieManager] = None,
         stream_data_tap: Optional[Callable[[float, int, bytes, bool], None]] = None,
         hx_qos_tap: Optional[Callable[[float, object], None]] = None,
+        init_policy: Optional[InitPolicy] = None,
     ) -> "StreamingSession":
         """Build a session from an immutable spec plus its environment.
 
@@ -229,6 +231,12 @@ class StreamingSession:
         data and ``(now, frame)`` for pushed Hx_QoS frames.  The serve
         shard uses them to capture the sim's delivery timeline for
         socket replay; ``None`` (the default) installs nothing.
+
+        ``init_policy`` is part of the session *environment*, like the
+        cookie store: chain drivers pass the OD pair's shared policy
+        instance so stateful schemes (e.g. ``adaptive``) carry learned
+        state across the chain.  ``None`` builds a fresh policy from
+        ``spec.scheme``.
         """
         session = cls.__new__(cls)
         session._bind(
@@ -239,6 +247,7 @@ class StreamingSession:
             cookie_manager,
             stream_data_tap=stream_data_tap,
             hx_qos_tap=hx_qos_tap,
+            init_policy=init_policy,
         )
         return session
 
@@ -251,15 +260,26 @@ class StreamingSession:
         cookie_manager: Optional[ServerCookieManager],
         stream_data_tap: Optional[Callable[[float, int, bytes, bool], None]] = None,
         hx_qos_tap: Optional[Callable[[float, object], None]] = None,
+        init_policy: Optional[InitPolicy] = None,
     ) -> None:
         self.spec = spec
         self.conditions = spec.conditions
-        self.scheme = spec.scheme
+        self.scheme: SchemeSpec = as_spec(spec.scheme)
         self.origin = origin
         self.stream_name = stream_name
         self.handshake_mode = spec.handshake_mode
         self.wira_config = spec.wira_config or WiraConfig()
-        self.quic_config = spec.quic_config or QuicConfig()
+        self.init_policy = (
+            init_policy
+            if init_policy is not None
+            else make_policy(self.scheme, seed=spec.seed)
+        )
+        # Transport stack: an explicit spec override wins, then the
+        # scheme's own transport selection (cc / recovery knobs), then
+        # the stock defaults.
+        self.quic_config = (
+            spec.quic_config or self.init_policy.quic_config() or QuicConfig()
+        )
         self.cookie_store = cookie_store
         self.playback = spec.playback
         self.target_video_frames = spec.target_video_frames
@@ -390,6 +410,7 @@ class StreamingSession:
             server_conn,
             self.origin,
             self.scheme,
+            init_policy=self.init_policy,
             wira_config=wira_config,
             cookie_manager=self.cookie_manager,
             clock_offset=self.epoch,

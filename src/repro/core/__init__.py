@@ -21,6 +21,16 @@ from repro.core.initializer import (
     InitialParams,
     Scheme,
     compute_initial_params,
+    table1_params,
+)
+from repro.core.schemes import (
+    InitContext,
+    InitPolicy,
+    SchemeDef,
+    SchemeSpec,
+    as_spec,
+    make_policy,
+    register,
 )
 from repro.core.transport_cookie import (
     ClientCookieStore,
@@ -36,11 +46,19 @@ __all__ = [
     "CookieSealer",
     "FrameParser",
     "HxQos",
+    "InitContext",
+    "InitPolicy",
     "InitialParams",
     "ParseStatus",
     "Scheme",
+    "SchemeDef",
+    "SchemeSpec",
     "WiraConfig",
+    "as_spec",
     "compute_initial_params",
     "decode_hqst",
     "encode_hqst",
+    "make_policy",
+    "register",
+    "table1_params",
 ]

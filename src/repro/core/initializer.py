@@ -22,17 +22,23 @@ Likewise the BDP uses the measured RTT when available.
 Corner cases (§IV-C) are handled exactly as described:
 
 1. **FF_Size not yet parsed** — substitute ``init_cwnd_exp``; the
-   connection later calls :func:`compute_initial_params` again once the
-   parser completes ("the init_cwnd will be updated to the minimum
-   value of FF_Size and BDP").
+   connection later re-initializes once the parser completes ("the
+   init_cwnd will be updated to the minimum value of FF_Size and BDP").
 2. **Cookie stale or absent** (T > Δ) — ``init_cwnd = FF_Size`` and
    ``init_pacing = FF_Size / init_RTT_exp``.
+
+Scheme *dispatch* lives in :mod:`repro.core.schemes`: every scheme is a
+registered :class:`~repro.core.schemes.InitPolicy`, and the five Table I
+rows are stateless policies over :func:`table1_params` below.  The
+:class:`Scheme` enum and :func:`compute_initial_params` survive only as
+deprecated aliases for the registry API.
 """
 
 from __future__ import annotations
 
 import enum
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -59,7 +65,14 @@ def payload_to_wire_bytes(payload_bytes: int) -> int:
 
 
 class Scheme(enum.Enum):
-    """Comparison schemes of §VI (Table I) plus the RFC 6928 static."""
+    """Deprecated alias for the scheme registry (:mod:`repro.core.schemes`).
+
+    The five Table I members survive for compatibility; they compare and
+    hash equal to the matching :class:`~repro.core.schemes.SchemeSpec`,
+    so enum-keyed and spec-keyed records interoperate.  New schemes are
+    *not* added here — register a :class:`~repro.core.schemes.SchemeDef`
+    instead.
+    """
 
     BASELINE = "baseline"
     WIRA_FF = "wira_ff"
@@ -67,23 +80,35 @@ class Scheme(enum.Enum):
     WIRA = "wira"
     STATIC_10 = "static_10"
 
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Scheme):
+            return self is other
+        from repro.core.schemes import SchemeSpec
+
+        if isinstance(other, SchemeSpec):
+            return self._value_ == other.value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value_)
+
     @property
     def uses_frame_perception(self) -> bool:
-        return self in (Scheme.WIRA_FF, Scheme.WIRA)
+        from repro.core import schemes as _schemes
+
+        return _schemes.get_def(str(self._value_)).uses_frame_perception
 
     @property
     def uses_transport_cookie(self) -> bool:
-        return self in (Scheme.WIRA_HX, Scheme.WIRA)
+        from repro.core import schemes as _schemes
+
+        return _schemes.get_def(str(self._value_)).uses_transport_cookie
 
     @property
     def display_name(self) -> str:
-        return {
-            Scheme.BASELINE: "Baseline",
-            Scheme.WIRA_FF: "Wira(FF)",
-            Scheme.WIRA_HX: "Wira(Hx)",
-            Scheme.WIRA: "Wira",
-            Scheme.STATIC_10: "init_cwnd=10",
-        }[self]
+        from repro.core import schemes as _schemes
+
+        return _schemes.get_def(str(self._value_)).display_name
 
 
 @dataclass(frozen=True)
@@ -101,19 +126,23 @@ class InitialParams:
             raise ValueError("initial parameters must be positive")
 
 
-def compute_initial_params(
-    scheme: Scheme,
+def table1_params(
+    name: str,
     config: WiraConfig,
     ff_size: Optional[int] = None,
     hx_qos: Optional[HxQos] = None,
     measured_rtt: Optional[float] = None,
 ) -> InitialParams:
-    """Table I + corner cases.
+    """Table I + corner cases, keyed by scheme name.
+
+    This is the pure math the five built-in policies share
+    (:class:`repro.core.schemes.TableIPolicy`); plugin policies may call
+    it for their fallback rows.
 
     Parameters
     ----------
-    scheme:
-        Which comparison scheme to configure.
+    name:
+        Which Table I row to compute (a legacy scheme value string).
     config:
         Wira deployment knobs (experiential values, safety bounds).
     ff_size:
@@ -136,49 +165,72 @@ def compute_initial_params(
     ff_wire = payload_to_wire_bytes(ff_size) if ff_size is not None else None
     exp_wire = payload_to_wire_bytes(config.init_cwnd_exp)
 
-    if scheme == Scheme.STATIC_10:
+    if name == "static_10":
         cwnd = 10 * _PACKET_WIRE_BYTES
-        return _finalize(config, cwnd, cwnd * 8.0 / init_rtt, False, False, False)
+        return finalize_params(config, cwnd, cwnd * 8.0 / init_rtt, False, False, False)
 
-    if scheme == Scheme.BASELINE:
+    if name == "baseline":
         cwnd = exp_wire
-        return _finalize(config, cwnd, cwnd * 8.0 / init_rtt, False, False, False)
+        return finalize_params(config, cwnd, cwnd * 8.0 / init_rtt, False, False, False)
 
-    if scheme == Scheme.WIRA_FF:
+    if name == "wira_ff":
         provisional = ff_wire is None
         cwnd = ff_wire if ff_wire is not None else exp_wire
-        return _finalize(
+        return finalize_params(
             config, cwnd, cwnd * 8.0 / init_rtt, not provisional, False, provisional
         )
 
-    if scheme == Scheme.WIRA_HX:
+    if name == "wira_hx":
         if hx_qos is None:
             # No valid cookie: fall back to the experiential baseline.
-            return _finalize(config, exp_wire, exp_wire * 8.0 / init_rtt, False, False, False)
+            return finalize_params(config, exp_wire, exp_wire * 8.0 / init_rtt, False, False, False)
         assert bdp is not None
-        return _finalize(config, bdp, hx_qos.max_bw_bps, False, True, False)
+        return finalize_params(config, bdp, hx_qos.max_bw_bps, False, True, False)
 
-    if scheme == Scheme.WIRA:
+    if name == "wira":
         if hx_qos is None:
             # Corner case 2: T > Δ (or no cookie at all).
             if ff_wire is None:
                 # Both signals missing: behave like the baseline until
                 # the parser completes (corner cases compose).
-                return _finalize(config, exp_wire, exp_wire * 8.0 / init_rtt, False, False, True)
+                return finalize_params(config, exp_wire, exp_wire * 8.0 / init_rtt, False, False, True)
             pacing = ff_wire * 8.0 / config.init_rtt_exp
-            return _finalize(config, ff_wire, pacing, True, False, False)
+            return finalize_params(config, ff_wire, pacing, True, False, False)
         assert bdp is not None
         if ff_wire is None:
             # Corner case 1: init_cwnd_exp stands in for FF_Size.
             cwnd = min(exp_wire, bdp)
-            return _finalize(config, cwnd, hx_qos.max_bw_bps, False, True, True)
+            return finalize_params(config, cwnd, hx_qos.max_bw_bps, False, True, True)
         cwnd = min(ff_wire, bdp)  # Eq. 3
-        return _finalize(config, cwnd, hx_qos.max_bw_bps, True, True, False)  # Eq. 2
+        return finalize_params(config, cwnd, hx_qos.max_bw_bps, True, True, False)  # Eq. 2
 
-    raise ValueError(f"unknown scheme {scheme!r}")
+    raise ValueError(f"no Table I row for scheme {name!r}")
 
 
-def _finalize(
+def compute_initial_params(
+    scheme: "Scheme",
+    config: WiraConfig,
+    ff_size: Optional[int] = None,
+    hx_qos: Optional[HxQos] = None,
+    measured_rtt: Optional[float] = None,
+) -> InitialParams:
+    """Deprecated enum dispatch; resolves through the scheme registry."""
+    warnings.warn(
+        "compute_initial_params() is deprecated; build a policy via "
+        "repro.core.schemes.make_policy(spec) and call "
+        "policy.initial_params(InitContext(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.core.schemes import InitContext, make_policy
+
+    policy = make_policy(scheme)
+    return policy.initial_params(
+        InitContext(config=config, ff_size=ff_size, hx_qos=hx_qos, measured_rtt=measured_rtt)
+    )
+
+
+def finalize_params(
     config: WiraConfig,
     cwnd: int,
     pacing: float,
@@ -186,8 +238,12 @@ def _finalize(
     used_hx: bool,
     provisional: bool,
 ) -> InitialParams:
-    """Apply the deployment safety bounds."""
+    """Apply the deployment safety bounds (every policy must end here)."""
     floor = config.min_initial_cwnd_packets * _PACKET_WIRE_BYTES
     cwnd = max(floor, min(int(cwnd), config.max_initial_cwnd_bytes))
     pacing = max(config.min_initial_pacing_bps, float(pacing))
     return InitialParams(cwnd, pacing, used_ff, used_hx, provisional)
+
+
+#: Backwards-compatible private alias (pre-registry name).
+_finalize = finalize_params

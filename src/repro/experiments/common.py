@@ -17,6 +17,7 @@ delegate kept for backwards compatibility.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -24,6 +25,14 @@ from repro.cdn.origin import Origin
 from repro.cdn.session import SessionResult, SessionSpec, StreamingSession
 from repro.core.config import WiraConfig
 from repro.core.initializer import InitialParams, Scheme
+from repro.core.schemes import (
+    InitPolicy,
+    SchemeLike,
+    SchemeSpec,
+    as_spec,
+    eval_schemes,
+    make_policy,
+)
 from repro.core.transport_cookie import ClientCookieStore, ServerCookieManager
 from repro.quic.config import QuicConfig
 from repro.quic.connection import HandshakeMode
@@ -32,12 +41,9 @@ from repro.workload.population import DeploymentConfig, PlannedSession
 
 COOKIE_KEY = b"wira-deployment-cookie-key-32b!!"
 
-EVAL_SCHEMES: Tuple[Scheme, ...] = (
-    Scheme.BASELINE,
-    Scheme.WIRA_FF,
-    Scheme.WIRA_HX,
-    Scheme.WIRA,
-)
+#: The headline comparison set, in registry order (single source of
+#: truth for scheme ordering and labels is :mod:`repro.core.schemes`).
+EVAL_SCHEMES: Tuple[SchemeSpec, ...] = eval_schemes()
 
 #: Deployment used by the Fig 11–15 benchmarks.  One run is shared —
 #: the cache hands the same records to every figure.
@@ -52,12 +58,12 @@ class SessionOutcome:
     result: SessionResult
 
 
-DeploymentRecords = Dict[Scheme, List[SessionOutcome]]
+DeploymentRecords = Dict[SchemeLike, List[SessionOutcome]]
 
 
 def run_deployment(
     config: Optional[DeploymentConfig] = None,
-    schemes: Sequence[Scheme] = EVAL_SCHEMES,
+    schemes: Sequence[SchemeLike] = EVAL_SCHEMES,
     wira_config: Optional[WiraConfig] = None,
     use_cache: bool = True,
     jobs: Optional[int] = None,
@@ -101,26 +107,42 @@ def chain_cookie_manager(chain_index: int, wira_config: WiraConfig) -> ServerCoo
 
 def session_spec_for(
     planned: PlannedSession,
-    scheme: Scheme,
+    scheme: SchemeLike,
     chain_index: int,
     config: DeploymentConfig,
     wira_config: WiraConfig,
 ) -> SessionSpec:
     """The :class:`SessionSpec` that replays one planned session."""
+    spec = as_spec(scheme)
     return SessionSpec(
         conditions=planned.conditions,
-        scheme=scheme,
+        scheme=spec,
         handshake_mode=planned.handshake_mode,
         epoch=planned.epoch,
         seed=planned.seed,
         target_video_frames=config.video_frames_per_session,
         wira_config=wira_config,
-        trace_label=f"{scheme.value}-c{chain_index}-s{planned.session_index}",
+        schedule=planned.schedule,
+        trace_label=f"{spec.value}-c{chain_index}-s{planned.session_index}",
     )
 
 
+def chain_policy(
+    scheme: SchemeLike, chain_index: int, config: DeploymentConfig
+) -> InitPolicy:
+    """The per-chain policy instance, deterministically seeded.
+
+    One policy lives for one OD pair's chain — that is the state scope
+    online schemes learn over.  The seed is a pure function of the
+    deployment seed and chain index, so serial, process-pool and
+    wave-batched replays hand every chain an identical policy.
+    """
+    seed = random.Random(f"policy:{config.seed}:{chain_index}").getrandbits(48)
+    return make_policy(scheme, seed=seed)
+
+
 def iter_chain_outcomes(
-    scheme: Scheme,
+    scheme: SchemeLike,
     chain: List[PlannedSession],
     chain_index: int,
     config: DeploymentConfig,
@@ -137,6 +159,7 @@ def iter_chain_outcomes(
     origin = Origin()
     stream_name = f"stream-{chain_index}"
     origin.add_stream(stream_name, chain[0].stream_profile)
+    policy = chain_policy(scheme, chain_index, config)
     for planned in chain:
         session = StreamingSession.from_spec(
             session_spec_for(planned, scheme, chain_index, config, wira_config),
@@ -144,12 +167,15 @@ def iter_chain_outcomes(
             stream_name,
             cookie_store=store,
             cookie_manager=manager,
+            init_policy=policy,
         )
-        yield SessionOutcome(planned, session.run())
+        result = session.run()
+        policy.observe(result)
+        yield SessionOutcome(planned, result)
 
 
 def _run_chain(
-    scheme: Scheme,
+    scheme: SchemeLike,
     chain: List[PlannedSession],
     chain_index: int,
     config: DeploymentConfig,
@@ -169,7 +195,7 @@ WAVE_CHAINS = 16
 
 
 def replay_chains_wave_batched(
-    scheme: Scheme,
+    scheme: SchemeLike,
     chains: Sequence[List[PlannedSession]],
     base_index: int,
     config: DeploymentConfig,
@@ -213,7 +239,8 @@ def replay_chains_wave_batched(
         origin = Origin()
         stream_name = f"stream-{base_index + offset}"
         origin.add_stream(stream_name, chain[0].stream_profile)
-        environments.append((store, manager, origin, stream_name))
+        policy = chain_policy(scheme, base_index + offset, config)
+        environments.append((store, manager, origin, stream_name, policy))
 
     per_chain: List[List[SessionOutcome]] = [[] for _ in chains]
     wave = 0
@@ -223,7 +250,7 @@ def replay_chains_wave_batched(
             break
         sessions = []
         for i in todo:
-            store, manager, origin, stream_name = environments[i]
+            store, manager, origin, stream_name, policy = environments[i]
             sessions.append(
                 StreamingSession.from_spec(
                     session_spec_for(
@@ -233,10 +260,15 @@ def replay_chains_wave_batched(
                     stream_name,
                     cookie_store=store,
                     cookie_manager=manager,
+                    init_policy=policy,
                 )
             )
+        # Wave k+1 sessions are only built after every wave-k result has
+        # been observed, so a chain's policy sees exactly the same
+        # (observe → initial_params) order as the solo replay.
         for i, result in zip(todo, run_sessions(sessions)):
             per_chain[i].append(SessionOutcome(chains[i][wave], result))
+            environments[i][4].observe(result)
         wave += 1
     return per_chain
 

@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.cdn.origin import Origin
 from repro.cdn.session import SessionSpec, StreamingSession
 from repro.core.initializer import Scheme
+from repro.core.schemes import SchemeLike, SchemeSpec, as_spec
 from repro.core.transport_cookie import ClientCookieStore, ServerCookieManager
 from repro.faults import FaultPlan, single_fault_plans
 from repro.media.source import StreamProfile
@@ -64,11 +65,14 @@ DEFAULT_CONDITIONS = NetworkConditions(
     bandwidth_bps=8_000_000.0, rtt=0.050, loss_rate=0.0, buffer_bytes=25_000
 )
 
-MATRIX_SCHEMES: Tuple[Scheme, ...] = (
+MATRIX_SCHEMES: Tuple[SchemeLike, ...] = (
     Scheme.BASELINE,
     Scheme.WIRA_FF,
     Scheme.WIRA_HX,
     Scheme.WIRA,
+    as_spec("adaptive"),
+    as_spec("wira_bbr2"),
+    as_spec("wira_ar"),
 )
 
 #: Per-schedule degradation-bound overrides (effective bound is the max
@@ -152,7 +156,7 @@ class RobustnessConfig:
     """Scale and gate knobs for one matrix run."""
 
     seeds: Tuple[int, ...] = (7, 19)
-    schemes: Tuple[Scheme, ...] = MATRIX_SCHEMES
+    schemes: Tuple[SchemeLike, ...] = MATRIX_SCHEMES
     schedule_names: Optional[Tuple[str, ...]] = None  # None = all
     fault_names: Optional[Tuple[str, ...]] = None  # None = all
     conditions: NetworkConditions = DEFAULT_CONDITIONS
@@ -167,20 +171,26 @@ class RobustnessConfig:
         """Reduced scale for CI: one seed, the two gate-relevant schemes."""
         return cls(
             seeds=(7,),
-            schemes=(Scheme.BASELINE, Scheme.WIRA),
+            schemes=(
+                Scheme.BASELINE,
+                Scheme.WIRA,
+                as_spec("adaptive"),
+                as_spec("wira_bbr2"),
+                as_spec("wira_ar"),
+            ),
             schedule_names=("steady", "bw_collapse", "bursty_ge", "flap"),
         )
 
 
 #: One matrix coordinate: (scheme, fault name, schedule name, seed).
-Cell = Tuple[Scheme, str, str, int]
+Cell = Tuple[SchemeSpec, str, str, int]
 
 
 @dataclass(frozen=True)
 class CellResult:
     """Outcome of one cell's two-session chain."""
 
-    scheme: Scheme
+    scheme: SchemeSpec
     fault: str
     schedule: str
     seed: int
@@ -205,7 +215,7 @@ class CellResult:
 
 
 def run_cell(
-    scheme: Scheme,
+    scheme: SchemeSpec,
     fault_name: str,
     plan: Optional[FaultPlan],
     schedule_name: str,
@@ -269,7 +279,7 @@ def enumerate_cells(config: RobustnessConfig) -> List[Cell]:
     if unknown:
         raise ValueError(f"unknown fault(s): {sorted(unknown)}")
     return [
-        (scheme, fault_name, schedule_name, seed)
+        (as_spec(scheme), fault_name, schedule_name, seed)
         for scheme in config.schemes
         for fault_name in fault_names
         for schedule_name in schedule_names
@@ -346,7 +356,7 @@ def evaluate_gates(
     means = {key: sum(v) / len(v) for key, v in sums.items()}
 
     ratio_gates: List[Dict[str, object]] = []
-    gated_schemes = [s for s in config.schemes if s != Scheme.BASELINE]
+    gated_schemes = [as_spec(s) for s in config.schemes if as_spec(s) != Scheme.BASELINE]
     for scheme in gated_schemes:
         for (mscheme, fault, schedule), mean_ffct in sorted(
             means.items(), key=lambda kv: (kv[0][0].value, kv[0][1], kv[0][2])
@@ -385,7 +395,7 @@ def evaluate_gates(
     return {
         "config": {
             "seeds": list(config.seeds),
-            "schemes": [s.value for s in config.schemes],
+            "schemes": [as_spec(s).value for s in config.schemes],
             "ffct_ratio_bound": config.ffct_ratio_bound,
             "cells": len(results),
         },

@@ -55,6 +55,7 @@ from typing import ContextManager, Dict, List, Optional, Sequence, Tuple
 from repro import obs as _obs
 from repro.core.config import WiraConfig
 from repro.core.initializer import Scheme
+from repro.core.schemes import SchemeLike, SchemeSpec, as_spec
 from repro.runtime import settings
 from repro.workload.population import Deployment, DeploymentConfig
 
@@ -63,7 +64,8 @@ logger = logging.getLogger(__name__)
 #: Bump when the serialized record layout (or replay semantics not
 #: captured by the source fingerprint) changes incompatibly.
 #: 2: SessionResult gained ``phase_breakdown``.
-CACHE_FORMAT_VERSION = 2
+#: 3: records are keyed by ``SchemeSpec`` (scheme registry).
+CACHE_FORMAT_VERSION = 3
 
 _MEMORY_CACHE: Dict[tuple, "DeploymentRecords"] = {}
 
@@ -99,7 +101,7 @@ def _replay_chunk(task: Tuple[DeploymentConfig, WiraConfig, str, int, int]):
     config, wira_config, scheme_value, lo, hi = task
     chains = _worker_chains(config, lo, hi)
     outcomes = _replay_chains_one_scheme(
-        Scheme(scheme_value), chains, lo, config, wira_config
+        as_spec(scheme_value), chains, lo, config, wira_config
     )
     return scheme_value, lo, outcomes
 
@@ -205,14 +207,14 @@ def source_fingerprint() -> str:
 def cache_key(
     config: DeploymentConfig,
     wira_config: WiraConfig,
-    schemes: Sequence[Scheme],
+    schemes: Sequence[SchemeLike],
 ) -> str:
     """Stable content hash identifying one replay's inputs."""
     payload = repr(
         (
             CACHE_FORMAT_VERSION,
             source_fingerprint(),
-            sorted(s.value for s in schemes),
+            sorted(as_spec(s).value for s in schemes),
             sorted(vars(config).items()),
             sorted(vars(wira_config).items()),
         )
@@ -275,7 +277,7 @@ def _looks_like_records(records) -> bool:
     if not isinstance(records, dict) or not records:
         return False
     for scheme, outcomes in records.items():
-        if not isinstance(scheme, Scheme) or not isinstance(outcomes, list):
+        if not isinstance(scheme, (Scheme, SchemeSpec)) or not isinstance(outcomes, list):
             return False
         if outcomes and not isinstance(outcomes[0], SessionOutcome):
             return False
@@ -299,7 +301,7 @@ def clear_caches(disk: bool = False) -> None:
 
 def run_deployment(
     config: Optional[DeploymentConfig] = None,
-    schemes: Optional[Sequence[Scheme]] = None,
+    schemes: Optional[Sequence[SchemeLike]] = None,
     wira_config: Optional[WiraConfig] = None,
     use_cache: bool = True,
     jobs: Optional[int] = None,
@@ -324,6 +326,10 @@ def run_deployment(
     wira_config = wira_config or WiraConfig()
     if schemes is None:
         schemes = EVAL_SCHEMES
+    # Normalize once: every layer below (tasks, caches, record keys)
+    # works on canonical SchemeSpec values; value-equality keeps the
+    # returned records addressable by enum members and value strings.
+    schemes = tuple(as_spec(s) for s in schemes)
     memo_key = (
         tuple(sorted(s.value for s in schemes)),
         tuple(sorted(vars(config).items())),

@@ -11,11 +11,8 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.core.config import WiraConfig
-from repro.core.initializer import (
-    Scheme,
-    compute_initial_params,
-    payload_to_wire_bytes,
-)
+from repro.core.initializer import Scheme, payload_to_wire_bytes
+from repro.core.schemes import InitContext, make_policy
 from repro.core.transport_cookie import HxQos
 
 
@@ -45,7 +42,9 @@ def run(
     hx = HxQos(min_rtt=min_rtt, max_bw_bps=max_bw_bps, timestamp=0.0)
     rows = []
     for scheme, (cwnd_formula, pacing_formula) in FORMULAS.items():
-        params = compute_initial_params(scheme, config, ff_size=ff_size, hx_qos=hx)
+        params = make_policy(scheme).initial_params(
+            InitContext(config=config, ff_size=ff_size, hx_qos=hx)
+        )
         rows.append(
             Table1Row(scheme, cwnd_formula, pacing_formula, params.cwnd_bytes, params.pacing_bps)
         )

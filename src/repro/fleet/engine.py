@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 from repro import obs as _obs
 from repro.core.config import WiraConfig
 from repro.core.initializer import Scheme
+from repro.core.schemes import as_spec
 from repro.fleet.aggregate import CampaignAggregate, merge_chunks
 from repro.fleet.checkpoint import CheckpointState, load_checkpoint, save_checkpoint
 from repro.fleet.telemetry import TelemetrySnapshot, snapshot_path, write_snapshot
@@ -94,7 +95,7 @@ class FleetConfig:
         if not self.schemes:
             raise ValueError("need at least one scheme")
         for value in self.schemes:
-            Scheme(value)  # raises ValueError on unknown schemes
+            as_spec(value)  # raises ValueError on unknown schemes
 
     @property
     def n_chunks(self) -> int:
@@ -180,7 +181,7 @@ def run_chunk(config: FleetConfig, chunk_index: int) -> Dict[str, object]:
         chains = [population.chain(od_index) for od_index in range(start, stop)]
         per_scheme = {
             scheme_value: replay_chains_wave_batched(
-                Scheme(scheme_value), chains, start, config.population, config.wira
+                as_spec(scheme_value), chains, start, config.population, config.wira
             )
             for scheme_value in config.schemes
         }
@@ -192,7 +193,7 @@ def run_chunk(config: FleetConfig, chunk_index: int) -> Dict[str, object]:
     for od_index in range(start, stop):
         chain = population.chain(od_index)
         for scheme_value in config.schemes:
-            scheme = Scheme(scheme_value)
+            scheme = as_spec(scheme_value)
             for outcome in iter_chain_outcomes(
                 scheme, chain, od_index, config.population, config.wira
             ):

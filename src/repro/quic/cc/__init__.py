@@ -15,18 +15,20 @@ from typing import Any
 
 from repro.quic.cc.base import CongestionController
 from repro.quic.cc.bbr import BbrSender
+from repro.quic.cc.bbr2 import Bbr2Sender
 from repro.quic.cc.cubic import CubicSender
 from repro.quic.cc.reno import RenoSender
 
 CONTROLLERS = {
     "bbr": BbrSender,
+    "bbrv2": Bbr2Sender,
     "cubic": CubicSender,
     "reno": RenoSender,
 }
 
 
 def make_controller(name: str, **kwargs: Any) -> CongestionController:
-    """Instantiate a controller by name (``bbr``/``cubic``/``reno``)."""
+    """Instantiate a controller by name (``bbr``/``bbrv2``/``cubic``/``reno``)."""
     try:
         cls = CONTROLLERS[name]
     except KeyError:
@@ -35,6 +37,7 @@ def make_controller(name: str, **kwargs: Any) -> CongestionController:
 
 
 __all__ = [
+    "Bbr2Sender",
     "BbrSender",
     "CongestionController",
     "CubicSender",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 
 @dataclass
@@ -34,7 +35,28 @@ class QuicConfig:
     """Default initial congestion window (RFC 6928) in packets."""
 
     congestion_controller: str = "bbr"
-    """One of ``bbr``, ``cubic``, ``reno``."""
+    """A :data:`repro.quic.cc.CONTROLLERS` name (``bbr``, ``bbrv2``,
+    ``cubic``, ``reno``)."""
+
+    cc_params: Tuple[Tuple[str, float], ...] = ()
+    """Extra keyword arguments for the selected controller, as sorted
+    ``(name, value)`` pairs (kept a tuple so the config stays hashable
+    and canonically serializable).  Empty for the stock controllers."""
+
+    loss_packet_threshold: int = 3
+    """Packets-past threshold for loss declaration (RFC 9002 §6.1.1)."""
+
+    loss_time_factor: float = 1.125
+    """Time-threshold multiplier on max(sRTT, latestRTT) (RFC 9002's
+    9/8).  AutoRec-style recovery lowers it to declare tail losses
+    sooner."""
+
+    pto_probe_count: int = 2
+    """Packets retransmitted per probe timeout."""
+
+    pto_backoff: float = 2.0
+    """PTO backoff base (RFC 9002 doubles; accelerated recovery backs
+    off more gently)."""
 
     pacer_burst_packets: int = 10
     """Token-bucket burst allowance in packets."""
@@ -54,3 +76,11 @@ class QuicConfig:
             raise ValueError("initial_rtt must be positive")
         if self.ack_every < 1:
             raise ValueError("ack_every must be >= 1")
+        if self.loss_packet_threshold < 1:
+            raise ValueError("loss_packet_threshold must be >= 1")
+        if self.loss_time_factor <= 0:
+            raise ValueError("loss_time_factor must be positive")
+        if self.pto_probe_count < 1:
+            raise ValueError("pto_probe_count must be >= 1")
+        if self.pto_backoff < 1.0:
+            raise ValueError("pto_backoff must be >= 1")

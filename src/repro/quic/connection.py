@@ -167,13 +167,21 @@ class Connection:
             rtt=self.rtt,
             mss=self.config.mss,
             initial_window_packets=self.config.initial_window_packets,
+            **dict(self.config.cc_params),
         )
         self.cc._trace_conn = self._trace_id
         self.pacer = Pacer(
             rate_bps=self.cc.pacing_rate_bps,
             burst_bytes=self.config.pacer_burst_packets * self.config.mss,
         )
-        self.loss_recovery = LossRecovery(self.rtt, self.config.max_ack_delay)
+        self.loss_recovery = LossRecovery(
+            self.rtt,
+            self.config.max_ack_delay,
+            packet_threshold=self.config.loss_packet_threshold,
+            time_factor=self.config.loss_time_factor,
+            probe_count=self.config.pto_probe_count,
+            backoff=self.config.pto_backoff,
+        )
         self.ack_manager = AckManager(self.config.max_ack_delay, self.config.ack_every)
         self.stats = ConnectionStats()
 

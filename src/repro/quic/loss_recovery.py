@@ -39,9 +39,22 @@ class AckResult:
 class LossRecovery:
     """Tracks unacknowledged packets and classifies their fate."""
 
-    def __init__(self, rtt: RttEstimator, max_ack_delay: float = 0.025) -> None:
+    def __init__(
+        self,
+        rtt: RttEstimator,
+        max_ack_delay: float = 0.025,
+        *,
+        packet_threshold: int = K_PACKET_THRESHOLD,
+        time_factor: float = 9.0 / 8.0,
+        probe_count: int = 2,
+        backoff: float = 2.0,
+    ) -> None:
         self.rtt = rtt
         self.max_ack_delay = max_ack_delay
+        self.packet_threshold = packet_threshold
+        self.time_factor = time_factor
+        self.probe_count = probe_count
+        self.backoff = backoff
         self.sent_packets: Dict[int, SentPacket] = {}
         self.largest_acked: Optional[int] = None
         self.pto_count = 0
@@ -125,7 +138,7 @@ class LossRecovery:
             return []
         lost: List[SentPacket] = []
         resolved_pns: List[int] = []
-        loss_delay = self.rtt.loss_delay()
+        loss_delay = self.rtt.loss_delay(self.time_factor)
         self._loss_time = None
         # pn-ordered, so everything past largest_acked is out of scope.
         for pn, packet in self._unresolved.items():
@@ -137,11 +150,11 @@ class LossRecovery:
             if not packet.in_flight:
                 # ACK-only packets are not tracked for loss (RFC 9002 §2);
                 # resolve them silently once overtaken.
-                if largest_acked - pn >= K_PACKET_THRESHOLD:
+                if largest_acked - pn >= self.packet_threshold:
                     packet.acked = True
                     resolved_pns.append(pn)
                 continue
-            by_threshold = largest_acked - pn >= K_PACKET_THRESHOLD
+            by_threshold = largest_acked - pn >= self.packet_threshold
             lost_deadline = packet.sent_time + loss_delay
             by_time = lost_deadline <= now
             if by_threshold or by_time:
@@ -186,7 +199,7 @@ class LossRecovery:
         packet = self._newest_ack_eliciting()
         if packet is None:
             return None
-        pto = self.rtt.pto(self.max_ack_delay) * (2 ** self.pto_count)
+        pto = self.rtt.pto(self.max_ack_delay) * (self.backoff**self.pto_count)
         # sent_time never decreases with pn, so the newest unresolved
         # ack-eliciting packet carries the latest send time.
         return packet.sent_time + pto
@@ -203,7 +216,7 @@ class LossRecovery:
             if packet.acked or packet.lost:
                 continue
             probes.append(packet)
-            if len(probes) == 2:
+            if len(probes) == self.probe_count:
                 break
         return probes
 

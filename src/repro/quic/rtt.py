@@ -81,12 +81,16 @@ class RttEstimator:
         assert self.rtt_var is not None
         return self.smoothed_rtt + max(4.0 * self.rtt_var, K_GRANULARITY) + max_ack_delay
 
-    def loss_delay(self) -> float:
-        """Time-threshold loss delay, 9/8 of max(smoothed, latest)."""
+    def loss_delay(self, factor: float = 9.0 / 8.0) -> float:
+        """Time-threshold loss delay, ``factor`` × max(smoothed, latest).
+
+        RFC 9002 uses 9/8; accelerated-recovery schemes pass a lower
+        factor to declare tail losses sooner.
+        """
         if self.smoothed_rtt is None or self.latest_rtt is None:
-            return 9.0 / 8.0 * self.initial_rtt
+            return factor * self.initial_rtt
         return max(
-            9.0 / 8.0 * max(self.smoothed_rtt, self.latest_rtt),
+            factor * max(self.smoothed_rtt, self.latest_rtt),
             K_GRANULARITY,
         )
 

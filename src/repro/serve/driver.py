@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import obs as _obs
 from repro.cdn.client import ClientMetrics, WiraClient
-from repro.core.initializer import Scheme
+from repro.core.schemes import as_spec
 from repro.cdn.session import SessionResult
 from repro.core.transport_cookie import ClientCookieStore
 from repro.media import flv
@@ -261,7 +261,7 @@ class ServeDriver:
         spec = protocol.ServeSpec(
             od_key=od_key,
             stream_name=stream_name,
-            scheme=Scheme(scheme_value),
+            scheme=as_spec(scheme_value),
             handshake_mode=planned.handshake_mode,
             epoch=planned.epoch,
             seed=planned.seed,

@@ -29,7 +29,7 @@ import json
 from dataclasses import asdict, dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.core.initializer import Scheme
+from repro.core.schemes import SchemeSpec, as_spec
 from repro.media.source import StreamProfile
 from repro.quic.connection import HandshakeMode
 from repro.quic.frames import CryptoFrame, HxQosFrame, StreamFrame
@@ -74,7 +74,7 @@ class ServeSpec:
 
     od_key: str
     stream_name: str
-    scheme: Scheme
+    scheme: SchemeSpec
     handshake_mode: HandshakeMode
     epoch: float
     seed: int
@@ -105,7 +105,7 @@ class ServeSpec:
             return cls(
                 od_key=str(payload["od"]),
                 stream_name=str(payload["stream"]),
-                scheme=Scheme(payload["scheme"]),
+                scheme=as_spec(str(payload["scheme"])),
                 handshake_mode=HandshakeMode(payload["mode"]),
                 epoch=float(payload["epoch"]),
                 seed=int(payload["seed"]),

@@ -33,11 +33,13 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, replace
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 from repro.media.source import StreamProfile
 from repro.quic.connection import HandshakeMode
 from repro.simnet.path import NetworkConditions
+from repro.simnet.schedule import PathSchedule
+from repro.simnet.trace import ConditionTrace, TracePoint
 from repro.workload.network import NetworkModel, OdPairModel
 from repro.workload.streams import sample_stream_profile
 
@@ -60,6 +62,9 @@ class PlannedSession:
     gap_minutes: float  # time since this OD pair's previous session
     session_index: int  # 0 = first ever session of the pair
     seed: int
+    #: Mid-session path dynamics (``DeploymentConfig.drift``): ``None``
+    #: on steady paths, a bandwidth-drop trace on drifting ones.
+    schedule: Optional[PathSchedule] = None
 
     @property
     def is_first_session(self) -> bool:
@@ -82,12 +87,21 @@ class DeploymentConfig:
     gap_minutes_sigma: float = 1.3
     video_frames_per_session: int = 20
     seed: int = 0
+    #: Probability that a session's path drifts mid-transfer (a sampled
+    #: bandwidth collapse shortly after the handshake).  0 keeps the
+    #: original steady-path population — and, because the drift draws
+    #: are gated behind it, byte-identical chains.  Cookie-trusting
+    #: initializers meet stale MaxBW values under drift; this is the
+    #: regime the scheme-frontier campaign measures.
+    drift: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_od_pairs < 1:
             raise ValueError("need at least one OD pair")
         if not 0.0 <= self.p_zero_rtt <= 1.0:
             raise ValueError("p_zero_rtt must be a probability")
+        if not 0.0 <= self.drift <= 1.0:
+            raise ValueError("drift must be a probability")
 
 
 class _ChainSampler:
@@ -122,6 +136,13 @@ class _ChainSampler:
                 if rng.random() < self.config.p_zero_rtt
                 else HandshakeMode.ONE_RTT
             )
+            seed = rng.getrandbits(48)
+            # Drift draws sit strictly AFTER every steady-population
+            # draw and behind the gate, so drift=0 deployments consume
+            # the identical rng stream they always did.
+            schedule = None
+            if self.config.drift > 0.0:
+                schedule = self._drift_schedule(rng, conditions)
             sessions.append(
                 PlannedSession(
                     od=od,
@@ -131,10 +152,33 @@ class _ChainSampler:
                     epoch=epoch,
                     gap_minutes=gap_minutes,
                     session_index=index,
-                    seed=rng.getrandbits(48),
+                    seed=seed,
+                    schedule=schedule,
                 )
             )
         return sessions
+
+    def _drift_schedule(self, rng: random.Random, conditions: NetworkConditions) -> Optional[PathSchedule]:
+        """Sampled mid-session bandwidth drop for drifting deployments.
+
+        With probability ``drift`` the path's bandwidth collapses to a
+        sampled fraction shortly after the handshake — the moment a
+        cookie-trusting initializer has just committed to yesterday's
+        MaxBW.  The onset lands inside the first-frame transfer window
+        so FFCT, not steady-state throughput, feels the drift.
+        """
+        if rng.random() >= self.config.drift:
+            return None
+        factor = rng.uniform(0.15, 0.45)
+        onset = rng.uniform(0.02, 0.08)
+        return PathSchedule(
+            trace=ConditionTrace(
+                [
+                    TracePoint(0.0, conditions),
+                    TracePoint(onset, conditions.scaled(bandwidth_factor=factor)),
+                ]
+            )
+        )
 
     @staticmethod
     def _geometric(rng: random.Random, mean: float) -> int:

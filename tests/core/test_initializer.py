@@ -11,6 +11,7 @@ from repro.core.initializer import (
     compute_initial_params,
     payload_to_wire_bytes,
 )
+from repro.core.schemes import InitContext, make_policy
 from repro.core.transport_cookie import HxQos
 
 
@@ -20,7 +21,9 @@ FF = 66_000  # Fig 2(a)'s example first frame
 
 
 def params(scheme, ff_size=FF, hx=HX, rtt=None):
-    return compute_initial_params(scheme, CONFIG, ff_size=ff_size, hx_qos=hx, measured_rtt=rtt)
+    return make_policy(scheme).initial_params(
+        InitContext(config=CONFIG, ff_size=ff_size, hx_qos=hx, measured_rtt=rtt)
+    )
 
 
 EXP_WIRE = payload_to_wire_bytes(44_000)
@@ -146,7 +149,7 @@ class TestSafetyBounds:
     def test_pacing_floor(self):
         slow = HxQos(min_rtt=0.05, max_bw_bps=1.0, timestamp=0.0)
         # max_bw below the floor gets clamped up.
-        p = compute_initial_params(Scheme.WIRA_HX, CONFIG, ff_size=FF, hx_qos=slow)
+        p = params(Scheme.WIRA_HX, hx=slow)
         assert p.pacing_bps == CONFIG.min_initial_pacing_bps
 
     def test_invalid_params_rejected(self):
@@ -178,8 +181,26 @@ class TestConfigValidation:
 def test_wira_never_exceeds_either_signal_property(ff, bw, rtt):
     """Property: Wira's window is bounded by both FF_Size and the BDP."""
     hx = HxQos(min_rtt=rtt, max_bw_bps=bw, timestamp=0.0)
-    p = compute_initial_params(Scheme.WIRA, CONFIG, ff_size=ff, hx_qos=hx)
+    p = params(Scheme.WIRA, ff_size=ff, hx=hx)
     floor = CONFIG.min_initial_cwnd_packets * 1280
     assert p.cwnd_bytes <= max(floor, payload_to_wire_bytes(ff))
     assert p.cwnd_bytes <= max(floor, hx.bdp_bytes)
     assert p.pacing_bps >= CONFIG.min_initial_pacing_bps
+
+
+class TestDeprecatedShim:
+    """``compute_initial_params`` survives as a warning alias only."""
+
+    def test_warns_and_matches_policy(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = compute_initial_params(  # wira-lint: disable=WL016
+                Scheme.WIRA, CONFIG, ff_size=FF, hx_qos=HX
+            )
+        assert legacy == params(Scheme.WIRA)
+
+    def test_accepts_string_schemes(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = compute_initial_params(  # wira-lint: disable=WL016
+                "wira_hx", CONFIG, ff_size=FF, hx_qos=HX
+            )
+        assert legacy == params(Scheme.WIRA_HX)

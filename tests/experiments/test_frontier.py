@@ -1,0 +1,58 @@
+"""The scheme-frontier drift campaign and its online-beats-offline gate."""
+
+from repro.experiments.frontier import (
+    FRONTIER_DRIFT,
+    FRONTIER_SCHEMES,
+    evaluate_gate,
+    frontier_config,
+    run_frontier,
+)
+from repro.fleet.engine import run_campaign
+
+
+class TestFrontierConfig:
+    def test_pinned_campaign(self):
+        config = frontier_config()
+        assert config.population.drift == FRONTIER_DRIFT
+        assert config.population.n_od_pairs == 96
+        assert config.population.seed == 11
+        assert config.schemes == FRONTIER_SCHEMES
+        assert "adaptive" in config.schemes and "wira_hx" in config.schemes
+
+    def test_quick_shares_the_pinned_drift_regime(self):
+        quick = frontier_config(quick=True)
+        assert quick.population.drift == FRONTIER_DRIFT
+        assert quick.population.seed == frontier_config().population.seed
+        assert quick.schemes == FRONTIER_SCHEMES
+
+
+class TestFrontierGate:
+    def test_quick_campaign_passes_and_reports(self, tmp_path):
+        html_path = tmp_path / "frontier.html"
+        report = run_frontier(quick=True, jobs=2, html_path=str(html_path))
+        gate = report["gate"]
+        assert gate["passed"], gate["failures"]
+        assert gate["ratio"] < 1.0  # adaptive strictly beats wira_hx p90
+        assert report["drift"] == FRONTIER_DRIFT
+        for value in FRONTIER_SCHEMES:
+            assert report["schemes"][value]["sessions"] > 0
+        html = html_path.read_text(encoding="utf-8")
+        assert "Scheme frontier" in html
+        assert "adaptive" in html
+
+    def test_gate_detects_regression(self):
+        """An impossible bound must fail — the gate is not vacuous."""
+        from repro.fleet.engine import FleetConfig
+        from repro.workload.population import DeploymentConfig
+
+        aggregate = run_campaign(
+            FleetConfig(
+                population=DeploymentConfig(n_od_pairs=4, seed=11, drift=FRONTIER_DRIFT),
+                schemes=("wira_hx", "adaptive"),
+                chunk_chains=2,
+            ),
+            jobs=1,
+        )
+        verdict = evaluate_gate(aggregate, bound=0.01)
+        assert not verdict["passed"]
+        assert any("FFCT p90" in f for f in verdict["failures"])

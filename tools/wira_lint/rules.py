@@ -24,7 +24,7 @@ from typing import Optional, Tuple
 
 #: Bump when rule semantics change in a way that must invalidate cached
 #: per-file facts (the fact cache keys on this).
-RULES_FINGERPRINT = "wira-lint-rules-v9"
+RULES_FINGERPRINT = "wira-lint-rules-v10"
 
 #: Simulation zone: code that must be bit-exact deterministic.  These are
 #: the packages replayed under the content-hash disk cache; one wall-clock
@@ -62,6 +62,10 @@ TYPED_ZONE: Tuple[str, ...] = (
     "src/repro/runtime",
     "src/repro/cdn/batchrun",
     "src/repro/serve",
+    # Scheme-plugin surface: the registry and the online policies are an
+    # extension API, so their signatures are part of the contract.
+    "src/repro/core/schemes",
+    "src/repro/core/adaptive",
     "tools/wira_fleet",
     "tools/wira_serve",
 )
@@ -323,6 +327,11 @@ SLOTS_REGISTRY = frozenset(
         # dashboard re-merges them every poll.
         "LiveStatus",
         "TelemetrySnapshot",
+        # Scheme-plugin policies: one instance per chain at fleet scale,
+        # queried once per session; an instance ``__dict__`` here also
+        # invites ad-hoc state that escapes the state_digest contract.
+        "TableIPolicy",
+        "AdaptiveInitPolicy",
     }
 )
 
@@ -351,6 +360,9 @@ DEPRECATED_ALIASES = {
 #: supported path is the named classmethod.
 DEPRECATED_CTORS = {
     "StreamingSession": "build a SessionSpec and call StreamingSession.from_spec",
+    "compute_initial_params": (
+        "use repro.core.schemes.make_policy(scheme).initial_params(InitContext(...))"
+    ),
 }
 
 #: Module-level registry assignments the contract cross-checks consume.
